@@ -1,0 +1,65 @@
+package broadcastic_test
+
+// One benchmark per reproduced claim (see DESIGN.md §3 and EXPERIMENTS.md).
+// Each benchmark regenerates its experiment's table and prints it once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every figure/table of the reproduction. Set
+// BROADCASTIC_SCALE=quick to run the reduced parameter grids.
+
+import (
+	"os"
+	"testing"
+
+	"broadcastic/internal/sim"
+)
+
+func benchConfig() sim.Config {
+	cfg := sim.Config{Seed: 1, Scale: sim.Full}
+	if os.Getenv("BROADCASTIC_SCALE") == "quick" {
+		cfg.Scale = sim.Quick
+	}
+	return cfg
+}
+
+func runExperiment(b *testing.B, f func(sim.Config) (*sim.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := f(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := tbl.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE1_DisjScalingN(b *testing.B)          { runExperiment(b, sim.E1DisjScalingN) }
+func BenchmarkE2_DisjScalingK(b *testing.B)          { runExperiment(b, sim.E2DisjScalingK) }
+func BenchmarkE3_NaiveVsOptimal(b *testing.B)        { runExperiment(b, sim.E3NaiveVsOptimal) }
+func BenchmarkE4_AndInfoCost(b *testing.B)           { runExperiment(b, sim.E4AndInfoCost) }
+func BenchmarkE5_DirectSum(b *testing.B)             { runExperiment(b, sim.E5DirectSum) }
+func BenchmarkE6_TruncatedError(b *testing.B)        { runExperiment(b, sim.E6TruncatedError) }
+func BenchmarkE7_InfoCommGap(b *testing.B)           { runExperiment(b, sim.E7InfoCommGap) }
+func BenchmarkE8_GoodTranscripts(b *testing.B)       { runExperiment(b, sim.E8GoodTranscripts) }
+func BenchmarkE9_PosteriorPointing(b *testing.B)     { runExperiment(b, sim.E9PosteriorPointing) }
+func BenchmarkE10_RejectionSampler(b *testing.B)     { runExperiment(b, sim.E10RejectionSampler) }
+func BenchmarkE11_AmortizedCompression(b *testing.B) { runExperiment(b, sim.E11AmortizedCompression) }
+func BenchmarkE12_DivergenceBound(b *testing.B)      { runExperiment(b, sim.E12DivergenceBound) }
+func BenchmarkE13_SparseIntersection(b *testing.B)   { runExperiment(b, sim.E13SparseIntersection) }
+
+func BenchmarkE14_Ablations(b *testing.B) { runExperiment(b, sim.E14Ablations) }
+
+func BenchmarkE15_TwoPartyBaseline(b *testing.B) { runExperiment(b, sim.E15TwoPartyBaseline) }
+
+func BenchmarkE16_CostBreakdown(b *testing.B) { runExperiment(b, sim.E16CostBreakdown) }
+
+func BenchmarkE17_PointwiseOr(b *testing.B) { runExperiment(b, sim.E17PointwiseOr) }
+
+func BenchmarkE18_InternalVsExternal(b *testing.B) { runExperiment(b, sim.E18InternalVsExternal) }
+
+func BenchmarkE19_WirelessContention(b *testing.B) { runExperiment(b, sim.E19WirelessContention) }

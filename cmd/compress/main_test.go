@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"sampler", "-trials", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"amortized", "-k", "4", "-copies", "1,4", "-repeats", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("bogus subcommand accepted")
+	}
+	if err := run([]string{"amortized", "-copies", "x"}); err == nil {
+		t.Fatal("bad copy list accepted")
+	}
+}

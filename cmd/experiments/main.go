@@ -1,0 +1,61 @@
+// Command experiments runs the complete reproduction suite (E1–E13 from
+// EXPERIMENTS.md) and prints one table per experiment.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale quick|full] [-only E4,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"broadcastic/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "root random seed")
+	scale := fs.String("scale", "full", "experiment scale: quick or full")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := sim.Config{Seed: *seed}
+	switch *scale {
+	case "quick":
+		cfg.Scale = sim.Quick
+	case "full":
+		cfg.Scale = sim.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	tables, err := sim.All(cfg)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if len(wanted) > 0 && !wanted[tbl.ID] {
+			continue
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "-only", "E5,E12"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "bogus"}, os.Stdout); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}

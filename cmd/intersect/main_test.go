@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"sparse", "-n", "1024", "-s", "8", "-k", "3", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sparse", "-common", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"union", "-n", "512", "-k", "3", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("bogus subcommand accepted")
+	}
+}

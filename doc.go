@@ -1,0 +1,12 @@
+// Package broadcastic reproduces "On Information Complexity in the
+// Broadcast Model" (Braverman & Oshman, PODC 2015) as an executable Go
+// library: the shared-blackboard communication model, the optimal
+// Θ(n log k + k) set-disjointness protocol, an exact information-cost
+// engine built on the paper's Lemma 3 product decomposition, and the
+// Section 6 compression machinery (Lemma 7 rejection sampling, Theorem 3
+// amortization).
+//
+// The library lives under internal/; see README.md for the package map,
+// examples/ for runnable entry points, and bench_test.go for the
+// experiment suite (one benchmark per reproduced claim, E1–E13).
+package broadcastic

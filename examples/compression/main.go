@@ -1,0 +1,143 @@
+// Compression: walk through Section 6 end to end. First transmit single
+// messages with the Lemma 7 rejection sampler and watch the cost track the
+// prior/posterior divergence; then compress a full protocol execution
+// round by round; finally reproduce the Theorem 3 effect — the per-copy
+// cost of many parallel copies converging to the external information cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/compress"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/info"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Part 1: one-shot sampling (Lemma 7).
+	fmt.Println("— Lemma 7: one-shot message transmission —")
+	public := rng.New(1)
+	eta, err := prob.NewDist([]float64{0.9, 0.05, 0.05})
+	if err != nil {
+		return err
+	}
+	for _, priorMass := range []float64{0.6, 0.1, 0.01} {
+		nu, err := prob.NewDist([]float64{priorMass, (1 - priorMass) / 2, (1 - priorMass) / 2})
+		if err != nil {
+			return err
+		}
+		d, err := info.KL(eta, nu)
+		if err != nil {
+			return err
+		}
+		const trials = 3000
+		bits := 0
+		for i := 0; i < trials; i++ {
+			res, err := compress.Transmit(eta, nu, public)
+			if err != nil {
+				return err
+			}
+			bits += res.Bits
+		}
+		fmt.Printf("  D(eta||nu) = %6.3f bits  →  mean cost %6.3f bits\n",
+			d, float64(bits)/trials)
+	}
+
+	// Part 2: compress a whole protocol run.
+	fmt.Println("\n— Compressing a protocol execution round by round —")
+	const k = 6
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		return err
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		return err
+	}
+	exact, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+	if err != nil {
+		return err
+	}
+	src := rng.New(2)
+	const runs = 2000
+	var compressed, original float64
+	for i := 0; i < runs; i++ {
+		_, x, err := core.SamplePrior(mu, src)
+		if err != nil {
+			return err
+		}
+		res, err := compress.CompressRun(spec, mu, x, public)
+		if err != nil {
+			return err
+		}
+		compressed += float64(res.CompressedBits)
+		original += float64(res.OriginalBits)
+	}
+	fmt.Printf("  AND_%d sequential protocol under mu:\n", k)
+	fmt.Printf("  external information cost IC      = %6.3f bits\n", exact.ExternalIC)
+	fmt.Printf("  uncompressed mean communication   = %6.3f bits\n", original/runs)
+	fmt.Printf("  compressed mean communication     = %6.3f bits (IC + per-round overhead)\n",
+		compressed/runs)
+
+	// Classical one-way reference (Huffman): shipping the entire input to
+	// the observer costs H(X) + O(1) bits — far more than the protocol
+	// reveals, which is the whole point of interactive information cost.
+	inputDist, err := muInputDist(mu, k)
+	if err != nil {
+		return err
+	}
+	code, err := encoding.NewHuffman(inputDist)
+	if err != nil {
+		return err
+	}
+	huff, err := code.ExpectedLength(inputDist)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  one-way baseline (Huffman of X)   = %6.3f bits (H(X) = %.3f)\n",
+		huff, info.Entropy(inputDist))
+
+	// Part 3: amortization (Theorem 3).
+	fmt.Println("\n— Theorem 3: amortized compression over parallel copies —")
+	curve, err := compress.AmortizedCurve(spec, mu, []int{1, 8, 64, 256}, 30, rng.New(3))
+	if err != nil {
+		return err
+	}
+	for _, pt := range curve {
+		fmt.Printf("  n = %4d copies  →  per-copy %6.3f bits  (IC = %.3f)\n",
+			pt.Copies, pt.PerCopyBits, exact.ExternalIC)
+	}
+	fmt.Println("\n  The per-copy cost approaches IC from above: information equals")
+	fmt.Println("  amortized communication, now measured rather than proved.")
+	return nil
+}
+
+// muInputDist materializes the marginal distribution of the full input
+// vector X ∈ {0,1}^k under μ, indexed by bitmask.
+func muInputDist(mu *dist.Mu, k int) (prob.Dist, error) {
+	w := make([]float64, 1<<uint(k))
+	x := make([]int, k)
+	for mask := range w {
+		for i := range x {
+			x[i] = mask >> uint(i) & 1
+		}
+		p, err := mu.Prob(x)
+		if err != nil {
+			return prob.Dist{}, err
+		}
+		w[mask] = p
+	}
+	return prob.Normalize(w)
+}

@@ -1,0 +1,3 @@
+module broadcastic
+
+go 1.22

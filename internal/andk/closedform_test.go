@@ -1,0 +1,102 @@
+package andk
+
+import (
+	"math"
+	"testing"
+
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/rng"
+)
+
+func TestClosedFormValidation(t *testing.T) {
+	if _, err := SequentialCICExact(1); err == nil {
+		t.Fatal("k=1 CIC succeeded")
+	}
+	if _, err := SequentialICExact(1); err == nil {
+		t.Fatal("k=1 IC succeeded")
+	}
+}
+
+func TestClosedFormsMatchEnumeration(t *testing.T) {
+	// The closed forms must agree with exact transcript-tree enumeration
+	// at every enumerable k.
+	for k := 2; k <= 12; k++ {
+		spec, err := NewSequential(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, err := dist.NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cic, err := SequentialCICExact(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cic-report.CIC) > 1e-9 {
+			t.Fatalf("k=%d: closed-form CIC %v vs enumerated %v", k, cic, report.CIC)
+		}
+		ic, err := SequentialICExact(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ic-report.ExternalIC) > 1e-9 {
+			t.Fatalf("k=%d: closed-form IC %v vs enumerated %v", k, ic, report.ExternalIC)
+		}
+	}
+}
+
+func TestClosedFormCICMatchesMonteCarlo(t *testing.T) {
+	// Beyond enumeration range, the unbiased sampler must agree with the
+	// closed form within a few standard errors.
+	const k = 512
+	spec, _ := NewSequential(k)
+	mu, _ := dist.NewMu(k)
+	est, err := core.EstimateCIC(spec, mu, rng.New(41), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cic, err := SequentialCICExact(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(est.Mean - cic); diff > 5*est.StdErr+1e-6 {
+		t.Fatalf("MC %v ± %v vs closed form %v", est.Mean, est.StdErr, cic)
+	}
+}
+
+func TestClosedFormAsymptotics(t *testing.T) {
+	// CIC(k) → (log₂e + log₂k)/e and IC(k) stays within the entropy bound
+	// log₂(k+1); both grow with log k.
+	prevCIC, prevIC := 0.0, 0.0
+	for _, k := range []int{1 << 6, 1 << 10, 1 << 14, 1 << 18} {
+		cic, err := SequentialCICExact(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic, err := SequentialICExact(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := (math.Log2(math.E) + math.Log2(float64(k))) / math.E
+		if math.Abs(cic-limit) > 0.05*limit {
+			t.Fatalf("k=%d: CIC %v far from asymptote %v", k, cic, limit)
+		}
+		if ic > math.Log2(float64(k+1)) {
+			t.Fatalf("k=%d: IC %v above entropy bound", k, ic)
+		}
+		if cic <= prevCIC || ic <= prevIC {
+			t.Fatalf("k=%d: costs not increasing (CIC %v after %v, IC %v after %v)",
+				k, cic, prevCIC, ic, prevIC)
+		}
+		if cic > ic {
+			t.Fatalf("k=%d: CIC %v above IC %v", k, cic, ic)
+		}
+		prevCIC, prevIC = cic, ic
+	}
+}

@@ -1,0 +1,241 @@
+// Package blackboard implements the communication model of the paper
+// (Section 3): k players, each holding a private input, communicate by
+// writing messages on a shared blackboard that everyone reads for free. At
+// each point the current contents of the board determine whose turn it is
+// to speak; the speaker produces a message from its input, its private
+// randomness, the public randomness, and the board, and appends it. The
+// communication cost of an execution is the total number of bits written.
+//
+// The package is deliberately mechanism-only: concrete protocols
+// (internal/disj, internal/andk, internal/compress) supply the players and
+// the speaking order; this package supplies the board, bit-exact
+// accounting, the execution loop, and runaway-protocol guards.
+package blackboard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/rng"
+)
+
+// Message is one blackboard write: a bit string attributed to a player.
+type Message struct {
+	Player int
+	Bits   []byte // packed MSB-first; trailing pad bits are zero
+	Len    int    // number of meaningful bits
+}
+
+// NewMessage packs the contents of a BitWriter into a Message.
+func NewMessage(player int, w *encoding.BitWriter) Message {
+	return Message{Player: player, Bits: w.Bytes(), Len: w.Len()}
+}
+
+// Reader returns a BitReader over the message payload.
+func (m Message) Reader() (*encoding.BitReader, error) {
+	return encoding.NewBitReader(m.Bits, m.Len)
+}
+
+// Key returns a compact string identifying the message content (player and
+// bits), suitable for use as a map key when building transcript histograms.
+func (m Message) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", m.Player)
+	for i := 0; i < m.Len; i++ {
+		if m.Bits[i/8]&(1<<uint(7-i%8)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Board is the shared blackboard. It is written by one player at a time
+// (the model is sequential) and read freely by everyone.
+type Board struct {
+	numPlayers int
+	msgs       []Message
+	totalBits  int
+	perPlayer  []int
+	public     *rng.Source
+}
+
+// NewBoard creates an empty board for numPlayers players with the given
+// public-randomness stream (may be nil for deterministic protocols).
+func NewBoard(numPlayers int, public *rng.Source) (*Board, error) {
+	if numPlayers <= 0 {
+		return nil, fmt.Errorf("blackboard: non-positive player count %d", numPlayers)
+	}
+	return &Board{
+		numPlayers: numPlayers,
+		perPlayer:  make([]int, numPlayers),
+		public:     public,
+	}, nil
+}
+
+// NumPlayers returns k.
+func (b *Board) NumPlayers() int { return b.numPlayers }
+
+// Public returns the shared public-randomness stream, or nil if none was
+// provided. All players observe the same stream, advanced in board order.
+func (b *Board) Public() *rng.Source { return b.public }
+
+// Append writes a message on the board.
+func (b *Board) Append(m Message) error {
+	if m.Player < 0 || m.Player >= b.numPlayers {
+		return fmt.Errorf("blackboard: message from invalid player %d", m.Player)
+	}
+	if m.Len < 0 || m.Len > len(m.Bits)*8 {
+		return fmt.Errorf("blackboard: message length %d exceeds payload of %d bits", m.Len, len(m.Bits)*8)
+	}
+	b.msgs = append(b.msgs, m)
+	b.totalBits += m.Len
+	b.perPlayer[m.Player] += m.Len
+	return nil
+}
+
+// Messages returns the messages written so far (shared slice; callers must
+// not mutate).
+func (b *Board) Messages() []Message { return b.msgs }
+
+// NumMessages returns the count of messages written.
+func (b *Board) NumMessages() int { return len(b.msgs) }
+
+// TotalBits returns the communication cost so far.
+func (b *Board) TotalBits() int { return b.totalBits }
+
+// PlayerBits returns the bits written by one player so far.
+func (b *Board) PlayerBits(player int) int {
+	if player < 0 || player >= b.numPlayers {
+		return 0
+	}
+	return b.perPlayer[player]
+}
+
+// TranscriptKey returns a string identifying the full board contents,
+// usable as a histogram key for transcript distributions.
+func (b *Board) TranscriptKey() string {
+	var s strings.Builder
+	for _, m := range b.msgs {
+		s.WriteString(m.Key())
+		s.WriteByte('|')
+	}
+	return s.String()
+}
+
+// Player is a protocol participant: given the board, it produces its next
+// message. Implementations close over the player's private input and
+// private randomness.
+type Player interface {
+	Speak(b *Board) (Message, error)
+}
+
+// Scheduler decides whose turn it is from the public board contents, per
+// the model: "the current contents of the blackboard determine whose turn
+// it is to speak next".
+type Scheduler interface {
+	// Next returns the next speaker, or done=true when the protocol halts.
+	Next(b *Board) (speaker int, done bool, err error)
+}
+
+// Limits guards against runaway protocols during development and failure
+// injection. Zero fields mean "no limit".
+type Limits struct {
+	MaxMessages int
+	MaxBits     int
+}
+
+// Errors returned by Run.
+var (
+	ErrMessageLimit = errors.New("blackboard: message limit exceeded")
+	ErrBitLimit     = errors.New("blackboard: bit limit exceeded")
+)
+
+// Result captures a finished execution.
+type Result struct {
+	Board *Board
+}
+
+// Run executes a protocol: it repeatedly asks the scheduler for the next
+// speaker and appends that player's message until the scheduler reports
+// completion. The returned Result owns the final board.
+func Run(sched Scheduler, players []Player, public *rng.Source, lim Limits) (*Result, error) {
+	board, err := NewBoard(len(players), public)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		speaker, done, err := sched.Next(board)
+		if err != nil {
+			return nil, fmt.Errorf("blackboard: scheduler: %w", err)
+		}
+		if done {
+			return &Result{Board: board}, nil
+		}
+		if speaker < 0 || speaker >= len(players) {
+			return nil, fmt.Errorf("blackboard: scheduler chose invalid player %d", speaker)
+		}
+		msg, err := players[speaker].Speak(board)
+		if err != nil {
+			return nil, fmt.Errorf("blackboard: player %d: %w", speaker, err)
+		}
+		if msg.Player != speaker {
+			return nil, fmt.Errorf("blackboard: player %d produced message attributed to %d", speaker, msg.Player)
+		}
+		if err := board.Append(msg); err != nil {
+			return nil, err
+		}
+		if lim.MaxMessages > 0 && board.NumMessages() > lim.MaxMessages {
+			return nil, fmt.Errorf("%w: %d messages", ErrMessageLimit, board.NumMessages())
+		}
+		if lim.MaxBits > 0 && board.TotalBits() > lim.MaxBits {
+			return nil, fmt.Errorf("%w: %d bits", ErrBitLimit, board.TotalBits())
+		}
+	}
+}
+
+// RoundRobin is a Scheduler that cycles players 0..k-1 until a stop
+// predicate on the board holds. Many protocols in the paper (including the
+// Section 5 protocol's cycles) are round-robin with a board-determined stop.
+type RoundRobin struct {
+	K    int
+	Stop func(b *Board) (bool, error)
+}
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(b *Board) (int, bool, error) {
+	if r.K <= 0 {
+		return 0, false, fmt.Errorf("blackboard: round-robin over %d players", r.K)
+	}
+	if r.Stop != nil {
+		stop, err := r.Stop(b)
+		if err != nil {
+			return 0, false, err
+		}
+		if stop {
+			return 0, true, nil
+		}
+	}
+	return b.NumMessages() % r.K, false, nil
+}
+
+var _ Scheduler = (*RoundRobin)(nil)
+
+// FuncPlayer adapts a closure to the Player interface.
+type FuncPlayer func(b *Board) (Message, error)
+
+// Speak implements Player.
+func (f FuncPlayer) Speak(b *Board) (Message, error) { return f(b) }
+
+var _ Player = (FuncPlayer)(nil)
+
+// FuncScheduler adapts a closure to the Scheduler interface.
+type FuncScheduler func(b *Board) (int, bool, error)
+
+// Next implements Scheduler.
+func (f FuncScheduler) Next(b *Board) (int, bool, error) { return f(b) }
+
+var _ Scheduler = (FuncScheduler)(nil)

@@ -1,0 +1,256 @@
+package blackboard
+
+import (
+	"errors"
+	"testing"
+
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/rng"
+)
+
+// bitMessage builds a one-bit message for tests.
+func bitMessage(t *testing.T, player, bit int) Message {
+	t.Helper()
+	var w encoding.BitWriter
+	if err := w.WriteBit(bit); err != nil {
+		t.Fatal(err)
+	}
+	return NewMessage(player, &w)
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	if _, err := NewBoard(0, nil); err == nil {
+		t.Fatal("NewBoard(0) succeeded")
+	}
+	if _, err := NewBoard(-3, nil); err == nil {
+		t.Fatal("NewBoard(-3) succeeded")
+	}
+}
+
+func TestBoardAccounting(t *testing.T) {
+	b, err := NewBoard(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w encoding.BitWriter
+	_ = w.WriteBits(0b101, 3)
+	if err := b.Append(NewMessage(1, &w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(bitMessage(t, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalBits() != 4 {
+		t.Fatalf("TotalBits = %d, want 4", b.TotalBits())
+	}
+	if b.PlayerBits(1) != 3 || b.PlayerBits(2) != 1 || b.PlayerBits(0) != 0 {
+		t.Fatalf("per-player bits = %d,%d,%d", b.PlayerBits(0), b.PlayerBits(1), b.PlayerBits(2))
+	}
+	if b.PlayerBits(-1) != 0 || b.PlayerBits(3) != 0 {
+		t.Fatal("out-of-range PlayerBits nonzero")
+	}
+	if b.NumMessages() != 2 {
+		t.Fatalf("NumMessages = %d", b.NumMessages())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	b, _ := NewBoard(2, nil)
+	if err := b.Append(Message{Player: 2, Len: 0}); err == nil {
+		t.Fatal("append from invalid player succeeded")
+	}
+	if err := b.Append(Message{Player: 0, Bits: []byte{0}, Len: 9}); err == nil {
+		t.Fatal("append with overlong length succeeded")
+	}
+	if err := b.Append(Message{Player: 0, Bits: nil, Len: -1}); err == nil {
+		t.Fatal("append with negative length succeeded")
+	}
+}
+
+func TestMessageKeyDistinguishesContent(t *testing.T) {
+	a := bitMessage(t, 0, 0)
+	b := bitMessage(t, 0, 1)
+	c := bitMessage(t, 1, 0)
+	if a.Key() == b.Key() {
+		t.Fatal("different bits share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different players share a key")
+	}
+}
+
+func TestTranscriptKey(t *testing.T) {
+	b1, _ := NewBoard(2, nil)
+	b2, _ := NewBoard(2, nil)
+	_ = b1.Append(bitMessage(t, 0, 1))
+	_ = b2.Append(bitMessage(t, 0, 1))
+	if b1.TranscriptKey() != b2.TranscriptKey() {
+		t.Fatal("identical boards have different keys")
+	}
+	_ = b2.Append(bitMessage(t, 1, 0))
+	if b1.TranscriptKey() == b2.TranscriptKey() {
+		t.Fatal("different boards share a key")
+	}
+}
+
+func TestMessageReaderRoundTrip(t *testing.T) {
+	var w encoding.BitWriter
+	_ = w.WriteBits(0b1101, 4)
+	m := NewMessage(0, &w)
+	r, err := m.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b1101 {
+		t.Fatalf("read back %04b", v)
+	}
+}
+
+// echoPlayers: each of k players writes one bit (its index mod 2), and the
+// scheduler stops after k messages.
+func echoSetup(k int) (Scheduler, []Player) {
+	sched := &RoundRobin{
+		K:    k,
+		Stop: func(b *Board) (bool, error) { return b.NumMessages() >= k, nil },
+	}
+	players := make([]Player, k)
+	for i := 0; i < k; i++ {
+		i := i
+		players[i] = FuncPlayer(func(b *Board) (Message, error) {
+			var w encoding.BitWriter
+			if err := w.WriteBit(i % 2); err != nil {
+				return Message{}, err
+			}
+			return NewMessage(i, &w), nil
+		})
+	}
+	return sched, players
+}
+
+func TestRunRoundRobin(t *testing.T) {
+	const k = 5
+	sched, players := echoSetup(k)
+	res, err := Run(sched, players, nil, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Board.NumMessages() != k {
+		t.Fatalf("messages = %d, want %d", res.Board.NumMessages(), k)
+	}
+	if res.Board.TotalBits() != k {
+		t.Fatalf("bits = %d, want %d", res.Board.TotalBits(), k)
+	}
+	for i, m := range res.Board.Messages() {
+		if m.Player != i%k {
+			t.Fatalf("message %d attributed to player %d", i, m.Player)
+		}
+	}
+}
+
+func TestRunMessageLimit(t *testing.T) {
+	// A scheduler that never stops must hit the message limit.
+	sched := &RoundRobin{K: 2, Stop: func(*Board) (bool, error) { return false, nil }}
+	_, players := echoSetup(2)
+	_, err := Run(sched, players, nil, Limits{MaxMessages: 10})
+	if !errors.Is(err, ErrMessageLimit) {
+		t.Fatalf("err = %v, want ErrMessageLimit", err)
+	}
+}
+
+func TestRunBitLimit(t *testing.T) {
+	sched := &RoundRobin{K: 2, Stop: func(*Board) (bool, error) { return false, nil }}
+	_, players := echoSetup(2)
+	_, err := Run(sched, players, nil, Limits{MaxBits: 5})
+	if !errors.Is(err, ErrBitLimit) {
+		t.Fatalf("err = %v, want ErrBitLimit", err)
+	}
+}
+
+func TestRunRejectsMisattributedMessage(t *testing.T) {
+	sched := &RoundRobin{K: 2, Stop: func(b *Board) (bool, error) { return b.NumMessages() >= 1, nil }}
+	players := []Player{
+		FuncPlayer(func(b *Board) (Message, error) {
+			var w encoding.BitWriter
+			_ = w.WriteBit(0)
+			return NewMessage(1, &w), nil // lies about identity
+		}),
+		FuncPlayer(func(b *Board) (Message, error) { return Message{}, nil }),
+	}
+	if _, err := Run(sched, players, nil, Limits{}); err == nil {
+		t.Fatal("misattributed message accepted")
+	}
+}
+
+func TestRunPropagatesPlayerError(t *testing.T) {
+	wantErr := errors.New("boom")
+	sched := &RoundRobin{K: 1, Stop: func(b *Board) (bool, error) { return b.NumMessages() >= 1, nil }}
+	players := []Player{FuncPlayer(func(b *Board) (Message, error) { return Message{}, wantErr })}
+	_, err := Run(sched, players, nil, Limits{})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunPropagatesSchedulerError(t *testing.T) {
+	wantErr := errors.New("sched fail")
+	bad := schedFunc(func(b *Board) (int, bool, error) { return 0, false, wantErr })
+	_, err := Run(bad, []Player{FuncPlayer(func(*Board) (Message, error) { return Message{}, nil })}, nil, Limits{})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsInvalidSpeaker(t *testing.T) {
+	bad := schedFunc(func(b *Board) (int, bool, error) { return 7, false, nil })
+	_, err := Run(bad, []Player{FuncPlayer(func(*Board) (Message, error) { return Message{}, nil })}, nil, Limits{})
+	if err == nil {
+		t.Fatal("invalid speaker accepted")
+	}
+}
+
+type schedFunc func(b *Board) (int, bool, error)
+
+func (f schedFunc) Next(b *Board) (int, bool, error) { return f(b) }
+
+func TestPublicRandomnessShared(t *testing.T) {
+	// Both players read the public stream; the second player must see it
+	// advanced past the first player's draw (the stream is shared state).
+	public := rng.New(5)
+	wantFirst := rng.New(5).Uint64()
+
+	var got []uint64
+	sched := &RoundRobin{K: 2, Stop: func(b *Board) (bool, error) { return b.NumMessages() >= 2, nil }}
+	players := make([]Player, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		players[i] = FuncPlayer(func(b *Board) (Message, error) {
+			got = append(got, b.Public().Uint64())
+			var w encoding.BitWriter
+			_ = w.WriteBit(0)
+			return NewMessage(i, &w), nil
+		})
+	}
+	if _, err := Run(sched, players, public, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("drew %d values", len(got))
+	}
+	if got[0] != wantFirst {
+		t.Fatal("public stream not seeded deterministically")
+	}
+	if got[0] == got[1] {
+		t.Fatal("public stream did not advance between players")
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	r := &RoundRobin{K: 0}
+	if _, _, err := r.Next(&Board{numPlayers: 1, perPlayer: make([]int, 1)}); err == nil {
+		t.Fatal("round-robin over zero players succeeded")
+	}
+}

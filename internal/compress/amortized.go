@@ -1,0 +1,185 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"broadcastic/internal/core"
+	"broadcastic/internal/rng"
+)
+
+// Theorem 3 machinery: run n independent copies of a protocol in parallel,
+// round by round, and compress each round's combined message with one
+// Lemma 7 transmission over the product universe. The combined divergence
+// is the sum of the per-copy divergences (independence), while the O(log)
+// overhead is paid once per round per speaker — so the per-copy cost tends
+// to IC_μ(Π) as n → ∞.
+
+// AmortizedResult reports one n-fold compressed execution.
+type AmortizedResult struct {
+	Copies         int
+	CompressedBits int     // total bits across all rounds
+	PerCopyBits    float64 // CompressedBits / Copies
+	OriginalBits   int     // uncompressed total
+	Rounds         int     // rounds of the combined protocol
+	Transmissions  int     // Lemma 7 calls (round × distinct speakers)
+	Outputs        []int   // per-copy protocol outputs
+}
+
+// copyState tracks one running copy.
+type copyState struct {
+	x        []int
+	t        core.Transcript
+	obs      *core.Observer
+	done     bool
+	output   int
+	origBits int
+}
+
+// RunAmortized executes n independent copies of spec on inputs drawn from
+// prior, compressing each parallel round with SimulatedProductTransmit.
+// Copies that halt early simply drop out of later rounds (the sequential
+// AND protocol halts at the first zero), which only reduces cost.
+func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source) (*AmortizedResult, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("compress: copy count %d < 1", copies)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("compress: nil randomness source")
+	}
+	states := make([]*copyState, copies)
+	for c := range states {
+		_, x, err := core.SamplePrior(prior, src)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := core.NewObserver(prior)
+		if err != nil {
+			return nil, err
+		}
+		states[c] = &copyState{x: x, obs: obs}
+	}
+
+	result := &AmortizedResult{Copies: copies, Outputs: make([]int, copies)}
+	for round := 0; ; round++ {
+		if round > 1<<16 {
+			return nil, fmt.Errorf("compress: combined protocol exceeded %d rounds", 1<<16)
+		}
+		// Determine each active copy's speaker; group copies by speaker so
+		// each group shares one product transmission.
+		groups := make(map[int][]int) // speaker -> copy indices
+		active := 0
+		for c, st := range states {
+			if st.done {
+				continue
+			}
+			speaker, done, err := spec.NextSpeaker(st.t)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				out, err := spec.Output(st.t)
+				if err != nil {
+					return nil, err
+				}
+				st.done = true
+				st.output = out
+				result.Outputs[c] = out
+				continue
+			}
+			groups[speaker] = append(groups[speaker], c)
+			active++
+		}
+		if active == 0 {
+			break
+		}
+		result.Rounds++
+		for speaker, cs := range groups {
+			logRatios := make([]float64, 0, len(cs))
+			type pending struct {
+				c   int
+				sym int
+			}
+			pend := make([]pending, 0, len(cs))
+			for _, c := range cs {
+				st := states[c]
+				eta, err := spec.MessageDist(st.t, speaker, st.x[speaker])
+				if err != nil {
+					return nil, err
+				}
+				nu, err := st.obs.PredictMessage(spec, st.t, speaker)
+				if err != nil {
+					return nil, err
+				}
+				sym := eta.Sample(src)
+				pe, pn := eta.P(sym), nu.P(sym)
+				if pn == 0 {
+					return nil, fmt.Errorf("compress: observer prior excludes realized message %d", sym)
+				}
+				logRatios = append(logRatios, math.Log2(pe/pn))
+				symBits, err := spec.MessageBits(st.t, sym)
+				if err != nil {
+					return nil, err
+				}
+				st.origBits += symBits
+				pend = append(pend, pending{c: c, sym: sym})
+			}
+			tx, err := SimulatedProductTransmit(logRatios, src)
+			if err != nil {
+				return nil, fmt.Errorf("compress: round %d speaker %d: %w", round, speaker, err)
+			}
+			result.CompressedBits += tx.Bits
+			result.Transmissions++
+			for _, p := range pend {
+				st := states[p.c]
+				if err := st.obs.Update(spec, st.t, speaker, p.sym); err != nil {
+					return nil, err
+				}
+				st.t = append(st.t, p.sym)
+			}
+		}
+	}
+	for c, st := range states {
+		result.OriginalBits += st.origBits
+		if !st.done {
+			return nil, fmt.Errorf("compress: copy %d never halted", c)
+		}
+	}
+	result.PerCopyBits = float64(result.CompressedBits) / float64(copies)
+	return result, nil
+}
+
+// AmortizedCurve runs RunAmortized over a sweep of copy counts, averaging
+// `repeats` executions per point: the data behind experiment E11. Each
+// entry reports the mean per-copy compressed cost.
+type AmortizedPoint struct {
+	Copies      int
+	PerCopyBits float64
+	PerCopyOrig float64
+}
+
+// AmortizedCurve measures per-copy compressed cost as the number of
+// parallel copies grows.
+func AmortizedCurve(spec core.Spec, prior core.Prior, copyCounts []int, repeats int, src *rng.Source) ([]AmortizedPoint, error) {
+	if repeats < 1 {
+		return nil, fmt.Errorf("compress: repeats %d < 1", repeats)
+	}
+	out := make([]AmortizedPoint, 0, len(copyCounts))
+	for _, n := range copyCounts {
+		var bits, orig float64
+		for r := 0; r < repeats; r++ {
+			res, err := RunAmortized(spec, prior, n, src)
+			if err != nil {
+				return nil, err
+			}
+			bits += res.PerCopyBits
+			orig += float64(res.OriginalBits) / float64(n)
+		}
+		out = append(out, AmortizedPoint{
+			Copies:      n,
+			PerCopyBits: bits / float64(repeats),
+			PerCopyOrig: orig / float64(repeats),
+		})
+	}
+	return out, nil
+}

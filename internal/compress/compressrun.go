@@ -1,0 +1,83 @@
+package compress
+
+import (
+	"fmt"
+
+	"broadcastic/internal/core"
+	"broadcastic/internal/rng"
+)
+
+// The external observer (exact Bayes posterior over inputs from the board,
+// message prediction ν) lives in core.Observer — it is shared between this
+// package's compression (Lemma 7 needs ν as the receivers' prior) and
+// core's chain-rule information estimator.
+
+// RunResult reports a compressed protocol execution.
+type RunResult struct {
+	Transcript     core.Transcript
+	Output         int
+	CompressedBits int // bits used by the Lemma 7 transmissions
+	OriginalBits   int // bits the uncompressed protocol would have written
+	Rounds         int
+}
+
+// CompressRun executes spec on input x, transmitting every round through
+// the Lemma 7 sampler instead of writing the message directly. The
+// resulting transcript has exactly the distribution of the original
+// protocol (the sampler is errorless), while the expected compressed cost
+// tracks Σ_rounds D(η ‖ ν) = the protocol's external information cost, plus
+// the per-round O(log) overhead.
+func CompressRun(spec core.Spec, prior core.Prior, x []int, public *rng.Source) (*RunResult, error) {
+	if len(x) != spec.NumPlayers() {
+		return nil, fmt.Errorf("compress: input has %d entries, want %d", len(x), spec.NumPlayers())
+	}
+	obs, err := core.NewObserver(prior)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		t      core.Transcript
+		result RunResult
+	)
+	for step := 0; ; step++ {
+		if step > 1<<16 {
+			return nil, fmt.Errorf("compress: protocol exceeded %d rounds", 1<<16)
+		}
+		speaker, done, err := spec.NextSpeaker(t)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			out, err := spec.Output(t)
+			if err != nil {
+				return nil, err
+			}
+			result.Transcript = t
+			result.Output = out
+			return &result, nil
+		}
+		eta, err := spec.MessageDist(t, speaker, x[speaker])
+		if err != nil {
+			return nil, err
+		}
+		nu, err := obs.PredictMessage(spec, t, speaker)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := Transmit(eta, nu, public)
+		if err != nil {
+			return nil, fmt.Errorf("compress: round %d: %w", step, err)
+		}
+		symBits, err := spec.MessageBits(t, tx.Value)
+		if err != nil {
+			return nil, err
+		}
+		result.CompressedBits += tx.Bits
+		result.OriginalBits += symBits
+		result.Rounds++
+		if err := obs.Update(spec, t, speaker, tx.Value); err != nil {
+			return nil, err
+		}
+		t = append(t, tx.Value)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"broadcastic/internal/blackboard"
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/rng"
+)
+
+// Bridge between the two protocol layers: any Spec (the declarative form
+// the information engine analyzes) can be executed on the blackboard
+// runtime (the operational form with physical bit accounting). This keeps
+// the two views honest against each other — the board's bit count must
+// equal the Spec's declared charging.
+//
+// The bridge encodes each symbol in ⌈log₂ alphabet⌉ bits, so it requires
+// the Spec's MessageBits to equal that fixed width (true for every
+// protocol in this repository; specs with variable-length charging would
+// need their own prefix-free encoder to run physically).
+
+// BoardRun is the result of executing a Spec on the blackboard.
+type BoardRun struct {
+	Board      *blackboard.Board
+	Transcript Transcript
+	Output     int
+}
+
+// RunSpecOnBlackboard executes spec on the given inputs over the broadcast
+// runtime. private provides the players' randomness (may be nil for
+// deterministic specs).
+func RunSpecOnBlackboard(spec Spec, x []int, private *rng.Source) (*BoardRun, error) {
+	if len(x) != spec.NumPlayers() {
+		return nil, fmt.Errorf("core: input has %d entries, want %d", len(x), spec.NumPlayers())
+	}
+
+	// Shared decoded transcript: a pure function of the board (each message
+	// is one fixed-width symbol).
+	var t Transcript
+
+	sched := blackboard.FuncScheduler(func(b *blackboard.Board) (int, bool, error) {
+		speaker, done, err := spec.NextSpeaker(t)
+		if err != nil {
+			return 0, false, err
+		}
+		return speaker, done, nil
+	})
+
+	players := make([]blackboard.Player, spec.NumPlayers())
+	for i := range players {
+		i := i
+		players[i] = blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
+			alphabet, err := spec.MessageAlphabet(t)
+			if err != nil {
+				return blackboard.Message{}, err
+			}
+			if alphabet < 1 {
+				return blackboard.Message{}, fmt.Errorf("core: non-positive alphabet %d", alphabet)
+			}
+			dist, err := spec.MessageDist(t, i, x[i])
+			if err != nil {
+				return blackboard.Message{}, err
+			}
+			var sym int
+			if private != nil {
+				sym = dist.Sample(private)
+			} else {
+				// Deterministic specs have a point-mass message.
+				support := dist.Support()
+				if len(support) != 1 {
+					return blackboard.Message{}, fmt.Errorf("core: randomized spec needs a private randomness source")
+				}
+				sym = support[0]
+			}
+			width := encoding.FixedWidth(uint64(alphabet))
+			declared, err := spec.MessageBits(t, sym)
+			if err != nil {
+				return blackboard.Message{}, err
+			}
+			if declared != width {
+				return blackboard.Message{}, fmt.Errorf(
+					"core: spec charges %d bits for symbol %d but the fixed-width encoding needs %d",
+					declared, sym, width)
+			}
+			var w encoding.BitWriter
+			if err := w.WriteBits(uint64(sym), width); err != nil {
+				return blackboard.Message{}, err
+			}
+			t = append(t, sym)
+			return blackboard.NewMessage(i, &w), nil
+		})
+	}
+
+	res, err := blackboard.Run(sched, players, nil, blackboard.Limits{MaxMessages: defaultMaxDepth})
+	if err != nil {
+		return nil, fmt.Errorf("core: spec on blackboard: %w", err)
+	}
+	out, err := spec.Output(t)
+	if err != nil {
+		return nil, err
+	}
+	return &BoardRun{Board: res.Board, Transcript: t, Output: out}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"broadcastic/internal/info"
+)
+
+// Internal information cost (Braverman–Rao / Braverman): what the players
+// learn about *each other's* inputs,
+//
+//	IC_int(Π) = I(Π; X | Y) + I(Π; Y | X),
+//
+// defined for two players. The paper's Section 6 footnote points out that
+// internal information lower-bounds external information for k = 2, but
+// the notion does not extend to the k > 2 broadcast model — which is
+// exactly why the paper works with external information. This file makes
+// the k = 2 comparison measurable.
+
+// ExactInternalIC computes the internal information cost of a two-player
+// spec under a prior, by exact enumeration of the transcript tree and both
+// input marginals.
+func ExactInternalIC(spec Spec, prior Prior, lim TreeLimits) (float64, error) {
+	if err := validateShapes(spec, prior); err != nil {
+		return 0, err
+	}
+	if spec.NumPlayers() != 2 {
+		return 0, fmt.Errorf("core: internal information is a two-player notion, got %d players", spec.NumPlayers())
+	}
+	leaves, err := EnumerateTranscripts(spec, lim)
+	if err != nil {
+		return 0, err
+	}
+	inputSize := spec.InputSize()
+	zDist, err := auxDist(prior)
+	if err != nil {
+		return 0, err
+	}
+
+	// Joint distribution over (x, y, ℓ), marginalizing the auxiliary
+	// variable out (internal information is defined against the plain
+	// input distribution).
+	joint := make([][][]float64, inputSize) // [x][y][leaf]
+	for x := range joint {
+		joint[x] = make([][]float64, inputSize)
+		for y := range joint[x] {
+			joint[x][y] = make([]float64, len(leaves))
+		}
+	}
+	for z := 0; z < prior.AuxSize(); z++ {
+		pz := zDist.P(z)
+		if pz == 0 {
+			continue
+		}
+		dx, err := prior.PlayerDist(z, 0)
+		if err != nil {
+			return 0, err
+		}
+		dy, err := prior.PlayerDist(z, 1)
+		if err != nil {
+			return 0, err
+		}
+		for x := 0; x < inputSize; x++ {
+			px := dx.P(x)
+			if px == 0 {
+				continue
+			}
+			for y := 0; y < inputSize; y++ {
+				py := dy.P(y)
+				if py == 0 {
+					continue
+				}
+				for li, leaf := range leaves {
+					pl := leaf.Q[0][x] * leaf.Q[1][y]
+					if pl == 0 {
+						continue
+					}
+					joint[x][y][li] += pz * px * py * pl
+				}
+			}
+		}
+	}
+
+	// I(Π; X | Y) = Σ_y p(y) · I(Π; X | Y = y), and symmetrically.
+	iXgivenY, err := conditionalLeafMI(joint, inputSize, len(leaves), false)
+	if err != nil {
+		return 0, err
+	}
+	iYgivenX, err := conditionalLeafMI(joint, inputSize, len(leaves), true)
+	if err != nil {
+		return 0, err
+	}
+	return iXgivenY + iYgivenX, nil
+}
+
+// conditionalLeafMI computes I(Π; A | B) where (A, B) = (X, Y) when
+// condOnFirst is false (condition on Y) and (Y, X) when true (condition
+// on X).
+func conditionalLeafMI(joint [][][]float64, inputSize, numLeaves int, condOnFirst bool) (float64, error) {
+	total := 0.0
+	for b := 0; b < inputSize; b++ {
+		tbl, err := info.EmptyJoint(inputSize, numLeaves)
+		if err != nil {
+			return 0, err
+		}
+		mass := 0.0
+		for a := 0; a < inputSize; a++ {
+			for li := 0; li < numLeaves; li++ {
+				var w float64
+				if condOnFirst {
+					w = joint[b][a][li]
+				} else {
+					w = joint[a][b][li]
+				}
+				if w == 0 {
+					continue
+				}
+				if err := tbl.Add(a, li, w); err != nil {
+					return 0, err
+				}
+				mass += w
+			}
+		}
+		if mass == 0 {
+			continue
+		}
+		if err := tbl.NormalizeInPlace(); err != nil {
+			return 0, err
+		}
+		mi, err := tbl.MutualInformation()
+		if err != nil {
+			return 0, err
+		}
+		total += mass * mi
+	}
+	if total < 0 && total > -1e-10 {
+		total = 0
+	}
+	if math.IsNaN(total) {
+		return 0, fmt.Errorf("core: internal information is NaN")
+	}
+	return total, nil
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/rng"
+)
+
+func TestEstimateExternalICMatchesExact(t *testing.T) {
+	// The chain-rule estimator must agree with the exact joint computation
+	// within a few standard errors, on both deterministic and randomized
+	// protocols.
+	cases := []struct {
+		name string
+		spec func(k int) (core.Spec, error)
+	}{
+		{"sequential", func(k int) (core.Spec, error) { return andk.NewSequential(k) }},
+		{"lazy", func(k int) (core.Spec, error) { return andk.NewLazy(k, 0.3, 0) }},
+		{"broadcastAll", func(k int) (core.Spec, error) { return andk.NewBroadcastAll(k) }},
+	}
+	const k = 5
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := tc.spec(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := core.EstimateExternalIC(spec, mu, rng.New(31), 15000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(est.Mean - exact.ExternalIC); diff > 5*est.StdErr+1e-6 {
+				t.Fatalf("estimate %v ± %v vs exact IC %v", est.Mean, est.StdErr, exact.ExternalIC)
+			}
+		})
+	}
+}
+
+func TestEstimateExternalICValidation(t *testing.T) {
+	spec, _ := andk.NewSequential(3)
+	mu, _ := dist.NewMu(3)
+	if _, err := core.EstimateExternalIC(spec, mu, nil, 10); err == nil {
+		t.Fatal("nil source succeeded")
+	}
+	if _, err := core.EstimateExternalIC(spec, mu, rng.New(1), 0); err == nil {
+		t.Fatal("zero samples succeeded")
+	}
+	mu4, _ := dist.NewMu(4)
+	if _, err := core.EstimateExternalIC(spec, mu4, rng.New(1), 10); err == nil {
+		t.Fatal("shape mismatch succeeded")
+	}
+}
+
+func TestEstimateExternalICLargeK(t *testing.T) {
+	// Must run at player counts beyond enumeration and respect the entropy
+	// bound H(Π) <= log2(k+1).
+	const k = 64
+	spec, _ := andk.NewSequential(k)
+	mu, _ := dist.NewMu(k)
+	est, err := core.EstimateExternalIC(spec, mu, rng.New(32), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := math.Log2(float64(k + 1))
+	if est.Mean <= 0 || est.Mean > bound+0.5 {
+		t.Fatalf("IC estimate %v outside (0, %v]", est.Mean, bound)
+	}
+}
+
+func TestExternalICDominatesCIC(t *testing.T) {
+	// Under μ, I(Π;X) >= I(Π;X|Z) for the sequential protocol (observed
+	// empirically at every k we enumerate; conditioning on Z here removes
+	// the information the transcript carries about the special player).
+	for _, k := range []int{3, 5, 8} {
+		spec, _ := andk.NewSequential(k)
+		mu, _ := dist.NewMu(k)
+		r, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ExternalIC < r.CIC-1e-9 {
+			t.Fatalf("k=%d: external IC %v below CIC %v", k, r.ExternalIC, r.CIC)
+		}
+	}
+}
+
+func TestObserverPosteriorConsistentWithLeafQ(t *testing.T) {
+	// After a full deterministic run, the observer's per-player posterior
+	// must match the normalized prior×q-factors marginalized over z.
+	const k = 4
+	spec, _ := andk.NewSequential(k)
+	mu, _ := dist.NewMu(k)
+	obs, err := core.NewObserver(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []int{1, 1, 0, 1}
+	var tr core.Transcript
+	for {
+		speaker, done, err := spec.NextSpeaker(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		d, err := spec.MessageDist(tr, speaker, x[speaker])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym := d.Sample(rng.New(1))
+		if err := obs.Update(spec, tr, speaker, sym); err != nil {
+			t.Fatal(err)
+		}
+		tr = append(tr, sym)
+	}
+	// Players 0, 1 announced ones; player 2 announced zero; player 3 silent.
+	p0, err := obs.PlayerPosterior(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.P(1) != 1 {
+		t.Fatalf("player 0 posterior %v, want point mass on 1", p0.Probs())
+	}
+	p2, err := obs.PlayerPosterior(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.P(0) != 1 {
+		t.Fatalf("player 2 posterior %v, want point mass on 0", p2.Probs())
+	}
+	// Player 3 never spoke: posterior equals its conditional prior given the
+	// board, which must still have mass on both values.
+	p3, err := obs.PlayerPosterior(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.P(0) <= 0 || p3.P(1) <= 0 {
+		t.Fatalf("silent player posterior degenerate: %v", p3.Probs())
+	}
+}

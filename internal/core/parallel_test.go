@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+)
+
+func TestParallelSpecValidation(t *testing.T) {
+	spec, _ := andk.NewSequential(3)
+	if _, err := core.NewParallelSpec(nil, 2); err == nil {
+		t.Fatal("nil base succeeded")
+	}
+	if _, err := core.NewParallelSpec(spec, 0); err == nil {
+		t.Fatal("zero copies succeeded")
+	}
+	if _, err := core.NewParallelSpec(spec, 64); err == nil {
+		t.Fatal("astronomical tuple space succeeded")
+	}
+	if _, err := core.NewProductOfPriors(nil, 2); err == nil {
+		t.Fatal("nil base prior succeeded")
+	}
+	mu, _ := dist.NewMu(3)
+	if _, err := core.NewProductOfPriors(mu, 0); err == nil {
+		t.Fatal("zero-copy prior succeeded")
+	}
+}
+
+func TestParallelSpecSingleCopyIsIdentity(t *testing.T) {
+	const k = 3
+	base, _ := andk.NewSequential(k)
+	par, err := core.NewParallelSpec(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := dist.NewMu(k)
+	parMu, err := core.NewProductOfPriors(mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.ExactCosts(base, mu, core.TreeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.ExactCosts(par, parMu, core.TreeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.CIC-r2.CIC) > 1e-9 || math.Abs(r1.ExternalIC-r2.ExternalIC) > 1e-9 {
+		t.Fatalf("1-copy parallel differs: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestTheorem4AdditivityUnderMu(t *testing.T) {
+	// IC and CIC of the n-fold task are exactly n× the single copy's,
+	// for the conditioned hard distribution μ (the direct-sum identity
+	// Theorem 4's proof relies on).
+	const k = 3
+	base, _ := andk.NewSequential(k)
+	mu, _ := dist.NewMu(k)
+	single, err := core.ExactCosts(base, mu, core.TreeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, copies := range []int{2, 3} {
+		par, err := core.NewParallelSpec(base, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prior, err := core.NewProductOfPriors(mu, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.ExactCosts(par, prior, core.TreeLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.CIC-float64(copies)*single.CIC) > 1e-8 {
+			t.Fatalf("copies=%d: CIC %v, want %v", copies, r.CIC, float64(copies)*single.CIC)
+		}
+		if math.Abs(r.ExternalIC-float64(copies)*single.ExternalIC) > 1e-8 {
+			t.Fatalf("copies=%d: IC %v, want %v", copies, r.ExternalIC, float64(copies)*single.ExternalIC)
+		}
+		if math.Abs(r.ExpectedBits-float64(copies)*single.ExpectedBits) > 1e-8 {
+			t.Fatalf("copies=%d: expected bits %v, want %v",
+				copies, r.ExpectedBits, float64(copies)*single.ExpectedBits)
+		}
+	}
+}
+
+func TestTheorem4AdditivityUnderProductPrior(t *testing.T) {
+	// The Theorem 4 statement proper: for a *product* distribution (empty
+	// auxiliary variable), IC of the n-fold task equals n·IC of one copy.
+	const k = 3
+	base, _ := andk.NewSequential(k)
+	prior := uniformPrior(t, k)
+	single, err := core.ExactCosts(base, prior, core.TreeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, copies := range []int{2, 3} {
+		par, err := core.NewParallelSpec(base, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pprior, err := core.NewProductOfPriors(prior, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.ExactCosts(par, pprior, core.TreeLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.ExternalIC-float64(copies)*single.ExternalIC) > 1e-8 {
+			t.Fatalf("copies=%d: IC %v, want %v", copies, r.ExternalIC, float64(copies)*single.ExternalIC)
+		}
+	}
+}
+
+func TestParallelSpecOutputPacksCopies(t *testing.T) {
+	const k = 2
+	base, _ := andk.NewSequential(k)
+	par, err := core.NewParallelSpec(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy 0 inputs (1,1) → output 1; copy 1 inputs (1,0) → output 0.
+	// Player tuple values: player 0 holds (1,1) → 1 + 2·1 = 3;
+	// player 1 holds (1,0) → 1 + 2·0 = 1.
+	leaves, err := core.EnumerateTranscripts(par, core.TreeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []int{3, 1}
+	for _, leaf := range leaves {
+		p, err := leaf.ProbGivenInput(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 1 {
+			if leaf.Output != 0b01 {
+				t.Fatalf("packed output %02b, want 01", leaf.Output)
+			}
+			return
+		}
+	}
+	t.Fatal("no transcript matched the deterministic input")
+}
+
+func TestParallelSpecErrors(t *testing.T) {
+	base, _ := andk.NewSequential(2)
+	par, _ := core.NewParallelSpec(base, 2)
+	// Transcript past the end of both copies.
+	tooLong := core.Transcript{0, 0, 0}
+	if _, _, err := par.NextSpeaker(tooLong); err == nil {
+		t.Fatal("overlong transcript accepted")
+	}
+	if _, err := par.Output(core.Transcript{0}); err == nil {
+		t.Fatal("output of incomplete transcript accepted")
+	}
+	if _, err := par.MessageAlphabet(core.Transcript{0, 0}); err == nil {
+		t.Fatal("alphabet after halt accepted")
+	}
+	if _, err := par.MessageDist(core.Transcript{0, 0}, 0, 0); err == nil {
+		t.Fatal("message after halt accepted")
+	}
+	if _, err := par.MessageBits(core.Transcript{0, 0}, 0); err == nil {
+		t.Fatal("bits after halt accepted")
+	}
+}
+
+func TestProductOfPriorsShapes(t *testing.T) {
+	mu, _ := dist.NewMu(3)
+	p, err := core.NewProductOfPriors(mu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPlayers() != 3 || p.InputSize() != 4 || p.AuxSize() != 9 {
+		t.Fatalf("shapes: players=%d input=%d aux=%d", p.NumPlayers(), p.InputSize(), p.AuxSize())
+	}
+	// Aux probabilities sum to 1.
+	total := 0.0
+	for z := 0; z < p.AuxSize(); z++ {
+		total += p.AuxProb(z)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("aux probabilities sum to %v", total)
+	}
+	if p.AuxProb(-1) != 0 || p.AuxProb(9) != 0 {
+		t.Fatal("out-of-range aux probability nonzero")
+	}
+	// Player conditionals sum to 1.
+	for z := 0; z < p.AuxSize(); z++ {
+		d, err := p.PlayerDist(z, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for v := 0; v < d.Size(); v++ {
+			s += d.P(v)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("z=%d: conditional sums to %v", z, s)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the posterior-pointing analysis of Section 4.1: the
+// α_i^ℓ coefficients and Bayes posterior of Lemma 4, the transcript
+// distribution π_c conditioned on inputs with exactly c zeroes, and the
+// good-transcript decomposition (L, B_0, B_1, L') of Lemma 5.
+
+// Alphas returns the coefficients α_i^ℓ = q_{i,0}^ℓ / q_{i,1}^ℓ of a leaf of
+// a binary-input protocol. When q_{i,1} = 0 (the transcript is impossible on
+// input 1) the coefficient is +Inf, matching the paper's convention that the
+// posterior is then 1.
+func Alphas(leaf *Leaf) ([]float64, error) {
+	out := make([]float64, len(leaf.Q))
+	for i, row := range leaf.Q {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("core: Alphas requires binary inputs, player %d has domain %d", i, len(row))
+		}
+		switch {
+		case row[1] > 0:
+			out[i] = row[0] / row[1]
+		case row[0] > 0:
+			out[i] = math.Inf(1)
+		default:
+			// Both zero: the leaf is unreachable through this player; by
+			// construction enumeration prunes those, but be defensive.
+			out[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// PosteriorZeroGivenNotSpecial evaluates the Lemma 4 / Eq. (5) posterior
+// Pr[X_i = 0 | Π = ℓ, Z ≠ i] = α / (α + k − 1) under the hard distribution μ
+// (prior zero-probability 1/k for non-special players).
+func PosteriorZeroGivenNotSpecial(alpha float64, k int) float64 {
+	if math.IsInf(alpha, 1) {
+		return 1
+	}
+	if alpha < 0 || k < 2 {
+		return math.NaN()
+	}
+	return alpha / (alpha + float64(k) - 1)
+}
+
+// SliceTranscriptProb returns π_c(ℓ) = Pr[Π = ℓ | X ∈ X_c], the probability
+// of the leaf when the input is uniform over inputs with exactly c zeroes:
+//
+//	π_c(ℓ) = (1 / C(k,c)) Σ_{|S|=c} Π_{i∈S} q_{i,0} Π_{i∉S} q_{i,1}.
+//
+// Computed by an exact O(k·c) subset-sum dynamic program, which handles
+// q_{i,1} = 0 without special cases.
+func SliceTranscriptProb(leaf *Leaf, c int) (float64, error) {
+	k := len(leaf.Q)
+	if c < 0 || c > k {
+		return 0, fmt.Errorf("core: slice size %d outside [0,%d]", c, k)
+	}
+	dp := make([]float64, c+1)
+	dp[0] = 1
+	for i := 0; i < k; i++ {
+		row := leaf.Q[i]
+		if len(row) != 2 {
+			return 0, fmt.Errorf("core: SliceTranscriptProb requires binary inputs, player %d has domain %d", i, len(row))
+		}
+		hi := c
+		if i+1 < hi {
+			hi = i + 1
+		}
+		for j := hi; j >= 0; j-- {
+			v := dp[j] * row[1]
+			if j > 0 {
+				v += dp[j-1] * row[0]
+			}
+			dp[j] = v
+		}
+	}
+	// Divide by C(k, c).
+	binom := 1.0
+	for j := 0; j < c; j++ {
+		binom *= float64(k-j) / float64(j+1)
+	}
+	return dp[c] / binom, nil
+}
+
+// LeafPointing summarizes one transcript's Lemma 5 classification.
+type LeafPointing struct {
+	Pi2      float64 // π_2(ℓ)
+	Pi3      float64 // π_3(ℓ)
+	Output   int
+	MaxAlpha float64 // max_i α_i^ℓ (+Inf allowed)
+	InL      bool    // output 0 and π_2(ℓ) ≥ C·Π_i q_{i,1}
+	InLPrime bool    // in L and π_2(ℓ) ≥ π_3(ℓ)/2
+}
+
+// PointingReport is the outcome of the Lemma 5 analysis over a full
+// transcript tree.
+type PointingReport struct {
+	Leaves []LeafPointing
+	// Masses of the transcript sets under π_2 (each in [0,1]).
+	MassB1     float64 // output-1 transcripts (wrong on X_2)
+	MassB0     float64 // output-0 transcripts failing the likelihood-ratio test
+	MassL      float64 // good transcripts
+	MassLPrime float64 // good transcripts preferring X_2 over X_3
+	// MassPointed is the π_2 mass of L' leaves where some α_i ≥ cThreshold·k:
+	// the transcripts that "point to a player that received zero".
+	MassPointed float64
+}
+
+// AnalyzeGoodTranscripts performs the Lemma 5 decomposition on the leaves
+// of a binary-input AND_k-type protocol: C is the likelihood-ratio constant
+// in the definition of L, and cThreshold is the constant c in the pointing
+// condition α_i^ℓ ≥ c·k.
+func AnalyzeGoodTranscripts(leaves []*Leaf, c float64, cThreshold float64) (*PointingReport, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("core: no transcripts to analyze")
+	}
+	if c <= 0 || cThreshold <= 0 {
+		return nil, fmt.Errorf("core: non-positive constants C=%v c=%v", c, cThreshold)
+	}
+	k := len(leaves[0].Q)
+	report := &PointingReport{Leaves: make([]LeafPointing, len(leaves))}
+	totalPi2 := 0.0
+	for li, leaf := range leaves {
+		pi2, err := SliceTranscriptProb(leaf, 2)
+		if err != nil {
+			return nil, err
+		}
+		pi3, err := SliceTranscriptProb(leaf, 3)
+		if err != nil {
+			return nil, err
+		}
+		alphas, err := Alphas(leaf)
+		if err != nil {
+			return nil, err
+		}
+		maxAlpha := math.Inf(-1)
+		for _, a := range alphas {
+			if a > maxAlpha {
+				maxAlpha = a
+			}
+		}
+		allOnesProb := 1.0 // Π_i q_{i,1}: the leaf's probability on input 1^k
+		for _, row := range leaf.Q {
+			allOnesProb *= row[1]
+		}
+		lp := LeafPointing{Pi2: pi2, Pi3: pi3, Output: leaf.Output, MaxAlpha: maxAlpha}
+		totalPi2 += pi2
+		switch {
+		case leaf.Output == 1:
+			report.MassB1 += pi2
+		case pi2 < c*allOnesProb:
+			report.MassB0 += pi2
+		default:
+			lp.InL = true
+			report.MassL += pi2
+			if pi2 >= pi3/2 {
+				lp.InLPrime = true
+				report.MassLPrime += pi2
+				if maxAlpha >= cThreshold*float64(k) {
+					report.MassPointed += pi2
+				}
+			}
+		}
+		report.Leaves[li] = lp
+	}
+	if math.Abs(totalPi2-1) > 1e-6 {
+		return nil, fmt.Errorf("core: π_2 masses sum to %v; transcript tree incomplete", totalPi2)
+	}
+	return report, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Leaf is one complete transcript of a Spec, annotated with the Lemma 3
+// factors: Q[i][v] is q_{i,v}^ℓ, the product over player i's messages of
+// the probability of emitting them when holding input v. The probability of
+// reaching this leaf on input x is Π_i Q[i][x_i].
+type Leaf struct {
+	Transcript Transcript
+	Q          [][]float64
+	Bits       int
+	Output     int
+}
+
+// ProbGivenInput returns Pr[Π = ℓ | X = x] = Π_i Q[i][x_i].
+func (l *Leaf) ProbGivenInput(x []int) (float64, error) {
+	if len(x) != len(l.Q) {
+		return 0, fmt.Errorf("core: input has %d entries, want %d", len(x), len(l.Q))
+	}
+	p := 1.0
+	for i, v := range x {
+		if v < 0 || v >= len(l.Q[i]) {
+			return 0, fmt.Errorf("core: input x[%d]=%d outside domain of size %d", i, v, len(l.Q[i]))
+		}
+		p *= l.Q[i][v]
+	}
+	return p, nil
+}
+
+// TreeLimits guards the enumeration against specs with huge or infinite
+// transcript trees. Zero fields mean "use a generous default".
+type TreeLimits struct {
+	MaxDepth  int // maximum number of messages per transcript
+	MaxLeaves int // maximum number of complete transcripts
+}
+
+// Defaults used when TreeLimits fields are zero.
+const (
+	defaultMaxDepth  = 4096
+	defaultMaxLeaves = 1 << 22
+)
+
+// Enumeration errors.
+var (
+	ErrTreeDepth  = errors.New("core: transcript tree exceeds depth limit")
+	ErrTreeLeaves = errors.New("core: transcript tree exceeds leaf limit")
+)
+
+// EnumerateTranscripts walks the complete transcript tree of spec,
+// returning one Leaf per reachable complete transcript. A transcript is
+// reachable if some input gives it positive probability, i.e. every
+// player's q-row has a positive entry.
+func EnumerateTranscripts(spec Spec, lim TreeLimits) ([]*Leaf, error) {
+	if lim.MaxDepth == 0 {
+		lim.MaxDepth = defaultMaxDepth
+	}
+	if lim.MaxLeaves == 0 {
+		lim.MaxLeaves = defaultMaxLeaves
+	}
+	k := spec.NumPlayers()
+	inputSize := spec.InputSize()
+	if k < 1 || inputSize < 1 {
+		return nil, fmt.Errorf("core: invalid spec shape k=%d inputSize=%d", k, inputSize)
+	}
+
+	var leaves []*Leaf
+	q := make([][]float64, k)
+	for i := range q {
+		q[i] = make([]float64, inputSize)
+		for v := range q[i] {
+			q[i][v] = 1
+		}
+	}
+
+	var walk func(t Transcript, bits int) error
+	walk = func(t Transcript, bits int) error {
+		if len(t) > lim.MaxDepth {
+			return fmt.Errorf("%w (%d)", ErrTreeDepth, lim.MaxDepth)
+		}
+		speaker, done, err := spec.NextSpeaker(t)
+		if err != nil {
+			return fmt.Errorf("core: NextSpeaker after %v: %w", t, err)
+		}
+		if done {
+			if len(leaves) >= lim.MaxLeaves {
+				return fmt.Errorf("%w (%d)", ErrTreeLeaves, lim.MaxLeaves)
+			}
+			out, err := spec.Output(t)
+			if err != nil {
+				return fmt.Errorf("core: Output of %v: %w", t, err)
+			}
+			leaf := &Leaf{
+				Transcript: t.Clone(),
+				Q:          make([][]float64, k),
+				Bits:       bits,
+				Output:     out,
+			}
+			for i := range q {
+				row := make([]float64, inputSize)
+				copy(row, q[i])
+				leaf.Q[i] = row
+			}
+			leaves = append(leaves, leaf)
+			return nil
+		}
+		if speaker < 0 || speaker >= k {
+			return fmt.Errorf("core: NextSpeaker returned invalid player %d", speaker)
+		}
+		alphabet, err := spec.MessageAlphabet(t)
+		if err != nil {
+			return fmt.Errorf("core: MessageAlphabet after %v: %w", t, err)
+		}
+		if alphabet < 1 {
+			return fmt.Errorf("core: non-positive alphabet %d after %v", alphabet, t)
+		}
+		// Per-input message distributions for the speaker.
+		dists := make([]probVec, inputSize)
+		for v := 0; v < inputSize; v++ {
+			d, err := spec.MessageDist(t, speaker, v)
+			if err != nil {
+				return fmt.Errorf("core: MessageDist(player=%d, input=%d) after %v: %w", speaker, v, t, err)
+			}
+			if d.Size() != alphabet {
+				return fmt.Errorf("core: MessageDist support %d, alphabet %d", d.Size(), alphabet)
+			}
+			dists[v] = d.Probs()
+		}
+		saved := make([]float64, inputSize)
+		copy(saved, q[speaker])
+		for sym := 0; sym < alphabet; sym++ {
+			// Update the speaker's q-row; prune symbols no input can emit
+			// along this prefix.
+			reachable := false
+			for v := 0; v < inputSize; v++ {
+				q[speaker][v] = saved[v] * dists[v][sym]
+				if q[speaker][v] > 0 {
+					reachable = true
+				}
+			}
+			if !reachable {
+				continue
+			}
+			symBits, err := spec.MessageBits(t, sym)
+			if err != nil {
+				return fmt.Errorf("core: MessageBits(%d) after %v: %w", sym, t, err)
+			}
+			if symBits < 0 {
+				return fmt.Errorf("core: negative message bits %d", symBits)
+			}
+			if err := walk(append(t, sym), bits+symBits); err != nil {
+				return err
+			}
+		}
+		copy(q[speaker], saved)
+		return nil
+	}
+
+	if err := walk(nil, 0); err != nil {
+		return nil, err
+	}
+	return leaves, nil
+}
+
+type probVec = []float64
+
+// LeafDistGivenAux returns the distribution over leaves conditioned on the
+// auxiliary value z: Pr[ℓ | z] = Π_i ( Σ_v prior_i(v|z) · Q_ℓ[i][v] ).
+// The returned slice is index-aligned with leaves and sums to 1.
+func LeafDistGivenAux(leaves []*Leaf, prior Prior, z int) ([]float64, error) {
+	k := prior.NumPlayers()
+	playerDists := make([]probVec, k)
+	for i := 0; i < k; i++ {
+		d, err := prior.PlayerDist(z, i)
+		if err != nil {
+			return nil, fmt.Errorf("core: PlayerDist(z=%d, i=%d): %w", z, i, err)
+		}
+		playerDists[i] = d.Probs()
+	}
+	out := make([]float64, len(leaves))
+	total := 0.0
+	for li, leaf := range leaves {
+		if len(leaf.Q) != k {
+			return nil, fmt.Errorf("core: leaf has %d q-rows, prior has %d players", len(leaf.Q), k)
+		}
+		p := 1.0
+		for i := 0; i < k; i++ {
+			s := 0.0
+			for v, pv := range playerDists[i] {
+				if v >= len(leaf.Q[i]) {
+					return nil, fmt.Errorf("core: prior input domain %d exceeds leaf domain %d", len(playerDists[i]), len(leaf.Q[i]))
+				}
+				s += pv * leaf.Q[i][v]
+			}
+			p *= s
+		}
+		out[li] = p
+		total += p
+	}
+	if total < 1-1e-6 || total > 1+1e-6 {
+		return nil, fmt.Errorf("core: leaf probabilities sum to %v under z=%d; protocol tree incomplete", total, z)
+	}
+	// Renormalize away rounding drift so downstream sums stay exact.
+	for li := range out {
+		out[li] /= total
+	}
+	return out, nil
+}

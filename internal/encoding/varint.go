@@ -1,0 +1,183 @@
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Prefix-free integer codes.
+//
+// The Lemma 7 sampler transmits three fields per message: a block index
+// (binomially distributed with mean 1 → Elias gamma makes it O(1) expected
+// bits), a log-ratio s (small non-negative integer → gamma), and an index
+// within the surviving candidate set (expected magnitude 2^s → gamma costs
+// ≈ s + 2 log s bits, matching the "roughly s bits" of the paper). All codes
+// here are self-delimiting so a reader never needs an out-of-band length.
+
+// WriteUnary appends v as v ones followed by a zero: 0 → "0", 3 → "1110".
+func WriteUnary(w *BitWriter, v uint64) error {
+	const maxUnary = 1 << 20
+	if v > maxUnary {
+		return fmt.Errorf("encoding: unary value %d unreasonably large", v)
+	}
+	for i := uint64(0); i < v; i++ {
+		if err := w.WriteBit(1); err != nil {
+			return err
+		}
+	}
+	return w.WriteBit(0)
+}
+
+// ReadUnary decodes a unary value.
+func ReadUnary(r *BitReader) (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// UnaryLen returns the encoded length of v in bits.
+func UnaryLen(v uint64) int { return int(v) + 1 }
+
+// WriteEliasGamma encodes v >= 1: the bit-length of v in unary-minus-one,
+// then the value's bits below the leading one. Length 2⌊log2 v⌋ + 1.
+func WriteEliasGamma(w *BitWriter, v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("encoding: Elias gamma undefined for 0")
+	}
+	n := bits.Len64(v) // position of leading one
+	for i := 0; i < n-1; i++ {
+		if err := w.WriteBit(0); err != nil {
+			return err
+		}
+	}
+	return w.WriteBits(v, n)
+}
+
+// ReadEliasGamma decodes an Elias gamma value.
+func ReadEliasGamma(r *BitReader) (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, fmt.Errorf("encoding: Elias gamma prefix overflow")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// EliasGammaLen returns the encoded length of v >= 1 in bits.
+func EliasGammaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return 2*bits.Len64(v) - 1
+}
+
+// WriteEliasDelta encodes v >= 1: gamma-code the bit-length, then the value
+// bits below the leading one. Length ≈ log2 v + 2 log2 log2 v.
+func WriteEliasDelta(w *BitWriter, v uint64) error {
+	if v == 0 {
+		return fmt.Errorf("encoding: Elias delta undefined for 0")
+	}
+	n := bits.Len64(v)
+	if err := WriteEliasGamma(w, uint64(n)); err != nil {
+		return err
+	}
+	return w.WriteBits(v&((1<<uint(n-1))-1), n-1)
+}
+
+// ReadEliasDelta decodes an Elias delta value.
+func ReadEliasDelta(r *BitReader) (uint64, error) {
+	n, err := ReadEliasGamma(r)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > 64 {
+		return 0, fmt.Errorf("encoding: Elias delta length field %d", n)
+	}
+	rest, err := r.ReadBits(int(n) - 1)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<(n-1) | rest, nil
+}
+
+// EliasDeltaLen returns the encoded length of v >= 1 in bits.
+func EliasDeltaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	n := bits.Len64(v)
+	return EliasGammaLen(uint64(n)) + n - 1
+}
+
+// WriteNonNeg encodes an arbitrary v >= 0 by gamma-coding v+1. Convenient
+// for fields (like the Lemma 7 log-ratio) that may be zero.
+func WriteNonNeg(w *BitWriter, v uint64) error {
+	if v == ^uint64(0) {
+		return fmt.Errorf("encoding: value overflow")
+	}
+	return WriteEliasGamma(w, v+1)
+}
+
+// ReadNonNeg decodes a value written with WriteNonNeg.
+func ReadNonNeg(r *BitReader) (uint64, error) {
+	v, err := ReadEliasGamma(r)
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}
+
+// NonNegLen returns the encoded length of v under WriteNonNeg.
+func NonNegLen(v uint64) int { return EliasGammaLen(v + 1) }
+
+// WriteSignedGamma encodes a signed integer via the zigzag map
+// 0,-1,1,-2,2 → 0,1,2,3,4 followed by WriteNonNeg. Used for the Lemma 7
+// log-ratio field, which the paper notes may be negative.
+func WriteSignedGamma(w *BitWriter, v int64) error {
+	return WriteNonNeg(w, zigzag(v))
+}
+
+// ReadSignedGamma decodes a signed value written with WriteSignedGamma.
+func ReadSignedGamma(r *BitReader) (int64, error) {
+	u, err := ReadNonNeg(r)
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// SignedGammaLen returns the encoded length of v under WriteSignedGamma.
+func SignedGammaLen(v int64) int { return NonNegLen(zigzag(v)) }
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// FixedWidth returns the number of bits needed to index a set of the given
+// size: ⌈log2 size⌉, with size 1 needing 0 bits.
+func FixedWidth(size uint64) int {
+	if size <= 1 {
+		return 0
+	}
+	return bits.Len64(size - 1)
+}

@@ -1,0 +1,267 @@
+// Package prob implements finite probability distributions and sampling.
+//
+// Distributions over small finite supports appear throughout the
+// reproduction: per-player message distributions (Lemma 3's q-factors are
+// maintained from them), the hard input distribution μ of Section 4.1, the
+// external observer's prior ν and the sender's posterior η in the Lemma 7
+// rejection sampler, and the transcript distributions π_2 and π_3. The
+// package keeps distributions as explicit probability vectors so that exact
+// computations (normalization, marginals, divergences via package info) stay
+// numerically transparent.
+package prob
+
+import (
+	"fmt"
+	"math"
+
+	"broadcastic/internal/rng"
+)
+
+// Dist is a probability distribution over the outcomes 0..len(p)-1.
+// Probabilities are non-negative and sum to 1 up to a small tolerance.
+type Dist struct {
+	p []float64
+}
+
+// normTolerance bounds the accepted deviation of a probability vector's sum
+// from 1. Anything worse indicates a logic error upstream.
+const normTolerance = 1e-9
+
+// NewDist validates and wraps a probability vector. The slice is copied.
+func NewDist(p []float64) (Dist, error) {
+	if len(p) == 0 {
+		return Dist{}, fmt.Errorf("prob: empty distribution")
+	}
+	sum := 0.0
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Dist{}, fmt.Errorf("prob: invalid probability p[%d]=%v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > normTolerance {
+		return Dist{}, fmt.Errorf("prob: probabilities sum to %v, want 1", sum)
+	}
+	q := make([]float64, len(p))
+	copy(q, p)
+	return Dist{p: q}, nil
+}
+
+// Normalize builds a distribution proportional to the given non-negative
+// weights. At least one weight must be positive.
+func Normalize(w []float64) (Dist, error) {
+	if len(w) == 0 {
+		return Dist{}, fmt.Errorf("prob: empty weight vector")
+	}
+	sum := 0.0
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Dist{}, fmt.Errorf("prob: invalid weight w[%d]=%v", i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return Dist{}, fmt.Errorf("prob: all weights are zero")
+	}
+	p := make([]float64, len(w))
+	for i, v := range w {
+		p[i] = v / sum
+	}
+	return Dist{p: p}, nil
+}
+
+// Point returns the deterministic distribution concentrated on outcome x
+// over a support of the given size.
+func Point(size, x int) (Dist, error) {
+	if size <= 0 {
+		return Dist{}, fmt.Errorf("prob: non-positive support size %d", size)
+	}
+	if x < 0 || x >= size {
+		return Dist{}, fmt.Errorf("prob: point mass %d outside [0,%d)", x, size)
+	}
+	p := make([]float64, size)
+	p[x] = 1
+	return Dist{p: p}, nil
+}
+
+// Uniform returns the uniform distribution over size outcomes.
+func Uniform(size int) (Dist, error) {
+	if size <= 0 {
+		return Dist{}, fmt.Errorf("prob: non-positive support size %d", size)
+	}
+	p := make([]float64, size)
+	for i := range p {
+		p[i] = 1 / float64(size)
+	}
+	return Dist{p: p}, nil
+}
+
+// Bernoulli returns the distribution on {0, 1} with P(1) = p.
+func Bernoulli(p float64) (Dist, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return Dist{}, fmt.Errorf("prob: Bernoulli parameter %v outside [0,1]", p)
+	}
+	return Dist{p: []float64{1 - p, p}}, nil
+}
+
+// Size returns the support size.
+func (d Dist) Size() int { return len(d.p) }
+
+// P returns the probability of outcome x (0 outside the support).
+func (d Dist) P(x int) float64 {
+	if x < 0 || x >= len(d.p) {
+		return 0
+	}
+	return d.p[x]
+}
+
+// Probs returns a copy of the probability vector.
+func (d Dist) Probs() []float64 {
+	out := make([]float64, len(d.p))
+	copy(out, d.p)
+	return out
+}
+
+// Sample draws one outcome using src.
+func (d Dist) Sample(src *rng.Source) int {
+	u := src.Float64()
+	acc := 0.0
+	for i, v := range d.p {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last outcome with positive mass.
+	for i := len(d.p) - 1; i >= 0; i-- {
+		if d.p[i] > 0 {
+			return i
+		}
+	}
+	return len(d.p) - 1
+}
+
+// Support returns the outcomes with strictly positive probability.
+func (d Dist) Support() []int {
+	out := make([]int, 0, len(d.p))
+	for i, v := range d.p {
+		if v > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Mean returns Σ x·p(x), treating outcomes as integers.
+func (d Dist) Mean() float64 {
+	m := 0.0
+	for i, v := range d.p {
+		m += float64(i) * v
+	}
+	return m
+}
+
+// TV returns the total-variation distance between d and e. The supports
+// must have equal size.
+func TV(d, e Dist) (float64, error) {
+	if d.Size() != e.Size() {
+		return 0, fmt.Errorf("prob: TV support mismatch %d vs %d", d.Size(), e.Size())
+	}
+	sum := 0.0
+	for i := range d.p {
+		sum += math.Abs(d.p[i] - e.p[i])
+	}
+	return sum / 2, nil
+}
+
+// Mix returns the mixture w·d + (1-w)·e.
+func Mix(d, e Dist, w float64) (Dist, error) {
+	if d.Size() != e.Size() {
+		return Dist{}, fmt.Errorf("prob: Mix support mismatch %d vs %d", d.Size(), e.Size())
+	}
+	if w < 0 || w > 1 {
+		return Dist{}, fmt.Errorf("prob: mixture weight %v outside [0,1]", w)
+	}
+	p := make([]float64, d.Size())
+	for i := range p {
+		p[i] = w*d.p[i] + (1-w)*e.p[i]
+	}
+	return Dist{p: p}, nil
+}
+
+// Conditional returns d conditioned on the outcome lying in keep (a
+// predicate over outcomes). Errors if the kept event has zero mass.
+func (d Dist) Conditional(keep func(int) bool) (Dist, error) {
+	w := make([]float64, d.Size())
+	for i, v := range d.p {
+		if keep(i) {
+			w[i] = v
+		}
+	}
+	cond, err := Normalize(w)
+	if err != nil {
+		return Dist{}, fmt.Errorf("prob: conditioning on zero-mass event: %w", err)
+	}
+	return cond, nil
+}
+
+// Product returns the product distribution of d and e over the flattened
+// support of size d.Size()*e.Size(), indexed as x*e.Size()+y.
+func Product(d, e Dist) Dist {
+	p := make([]float64, d.Size()*e.Size())
+	for x, px := range d.p {
+		for y, py := range e.p {
+			p[x*e.Size()+y] = px * py
+		}
+	}
+	return Dist{p: p}
+}
+
+// Empirical builds the empirical (maximum-likelihood) distribution of the
+// given outcome counts.
+func Empirical(counts []int) (Dist, error) {
+	w := make([]float64, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return Dist{}, fmt.Errorf("prob: negative count counts[%d]=%d", i, c)
+		}
+		w[i] = float64(c)
+	}
+	return Normalize(w)
+}
+
+// BinomialPMF returns the distribution of a Binomial(n, p) random variable
+// over {0, ..., n}. Computed in log space to stay stable for large n.
+func BinomialPMF(n int, p float64) (Dist, error) {
+	if n < 0 {
+		return Dist{}, fmt.Errorf("prob: negative binomial n=%d", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return Dist{}, fmt.Errorf("prob: binomial parameter %v outside [0,1]", p)
+	}
+	probs := make([]float64, n+1)
+	if p == 0 {
+		probs[0] = 1
+		return Dist{p: probs}, nil
+	}
+	if p == 1 {
+		probs[n] = 1
+		return Dist{p: probs}, nil
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	for k := 0; k <= n; k++ {
+		probs[k] = math.Exp(logChoose(n, k) + float64(k)*lp + float64(n-k)*lq)
+	}
+	return Normalize(probs)
+}
+
+// logChoose returns log C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}

@@ -1,0 +1,207 @@
+package radio
+
+import (
+	"testing"
+
+	"broadcastic/internal/bitvec"
+	"broadcastic/internal/disj"
+	"broadcastic/internal/rng"
+)
+
+func TestDataSlots(t *testing.T) {
+	cases := []struct{ bits, payload, want int }{
+		{0, 32, 1}, {1, 32, 1}, {32, 32, 1}, {33, 32, 2}, {64, 32, 2}, {65, 32, 3},
+	}
+	for _, tc := range cases {
+		if got := dataSlots(tc.bits, tc.payload); got != tc.want {
+			t.Fatalf("dataSlots(%d,%d) = %d, want %d", tc.bits, tc.payload, got, tc.want)
+		}
+	}
+}
+
+func TestRunPolledDisjMatchesProtocol(t *testing.T) {
+	src := rng.New(701)
+	inst, err := disj.GenerateFromMuN(src, 1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := disj.SolveOptimal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, report, err := RunPolledDisj(inst, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Disjoint != direct.Disjoint {
+		t.Fatal("polled run disagrees with the direct protocol")
+	}
+	if report.Bits != direct.Bits {
+		t.Fatalf("polled bits %d != protocol bits %d", report.Bits, direct.Bits)
+	}
+	if report.TotalSlots() <= 0 {
+		t.Fatal("no slots accounted")
+	}
+	if report.Collisions != 0 {
+		t.Fatal("polled execution reported collisions")
+	}
+	if _, _, err := RunPolledDisj(inst, 0); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+}
+
+func TestContentionDisjCorrectRandom(t *testing.T) {
+	// Las Vegas correctness: always the right answer, any randomness.
+	src := rng.New(702)
+	for trial := 0; trial < 80; trial++ {
+		n := src.Intn(300) + 1
+		k := src.Intn(8) + 1
+		var inst *disj.Instance
+		var err error
+		switch src.Intn(3) {
+		case 0:
+			inst, err = disj.GenerateDisjoint(src, n, k, src.Float64())
+		case 1:
+			inst, err = disj.GenerateIntersecting(src, n, k, src.Intn(n)+1, src.Float64())
+		default:
+			if k < 2 {
+				k = 2
+			}
+			inst, err = disj.GenerateFromMuN(src, n, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inst.Disjoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, report, err := ContentionDisj(inst, 32, src)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+		if out.Disjoint != want {
+			t.Fatalf("n=%d k=%d: contention answered %v, truth %v", n, k, out.Disjoint, want)
+		}
+		if report.TotalSlots() <= 0 {
+			t.Fatal("no slots accounted")
+		}
+	}
+}
+
+func TestContentionDisjValidation(t *testing.T) {
+	src := rng.New(703)
+	inst, _ := disj.GenerateDisjoint(src, 16, 2, 0.5)
+	if _, _, err := ContentionDisj(nil, 32, src); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, _, err := ContentionDisj(inst, 0, src); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+	if _, _, err := ContentionDisj(inst, 32, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestContentionDeterministicGivenSeed(t *testing.T) {
+	src := rng.New(704)
+	inst, err := disj.GenerateFromMuN(src, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ra, err := ContentionDisj(inst, 32, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rb, err := ContentionDisj(inst, 32, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Disjoint != b.Disjoint || ra.TotalSlots() != rb.TotalSlots() || ra.Bits != rb.Bits {
+		t.Fatal("same seed produced different executions")
+	}
+}
+
+func TestPollingVsContentionTradeoff(t *testing.T) {
+	// The tradeoff the blackboard abstraction hides: when almost every
+	// station contributes every cycle (μ^n inputs), deterministic polling
+	// is near-optimal and contention pays collision overhead; when
+	// speakers are rare (one station holds every zero), polling burns a
+	// slot per silent station per cycle and contention wins.
+	src := rng.New(705)
+	const n, k = 4096, 64
+
+	// Regime 1: μ^n — polling efficient; contention within a small factor.
+	mun, err := disj.GenerateFromMuN(src, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, polled, err := RunPolledDisj(mun, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, contended, err := ContentionDisj(mun, 32, rng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.TotalSlots() > 4*polled.TotalSlots() {
+		t.Fatalf("μ^n: contention %d slots more than 4× polled %d",
+			contended.TotalSlots(), polled.TotalSlots())
+	}
+
+	// Regime 2: skew — only station 0 ever has anything to say.
+	skew, err := skewedInstance(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, polledSkew, err := RunPolledDisj(skew, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, contendedSkew, err := ContentionDisj(skew, 32, rng.New(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contendedSkew.TotalSlots() >= polledSkew.TotalSlots() {
+		t.Fatalf("skew: contention %d slots not below polled %d",
+			contendedSkew.TotalSlots(), polledSkew.TotalSlots())
+	}
+}
+
+// skewedInstance gives station 0 an empty set (every zero) and everyone
+// else the full universe.
+func skewedInstance(n, k int) (*disj.Instance, error) {
+	sets := make([]*bitvec.Vector, k)
+	for i := range sets {
+		v, err := bitvec.New(n)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			v.SetAll()
+		}
+		sets[i] = v
+	}
+	return disj.NewInstance(n, sets)
+}
+
+func TestContentionEventuallyCollides(t *testing.T) {
+	// With many simultaneous contenders collisions must show up — the
+	// contention the blackboard abstraction hides.
+	src := rng.New(706)
+	collisions := 0
+	for trial := 0; trial < 20; trial++ {
+		inst, err := disj.GenerateDisjoint(src, 256, 16, 0.2) // many zeros everywhere
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := ContentionDisj(inst, 32, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collisions += rep.Collisions
+	}
+	if collisions == 0 {
+		t.Fatal("no collisions observed across 20 dense instances")
+	}
+}

@@ -1,0 +1,188 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the repository.
+//
+// Reproducibility is a first-class requirement for the experiments: every
+// protocol execution, every sampled input, and every Monte-Carlo estimate
+// must be replayable bit-for-bit from a seed. The broadcast model also
+// distinguishes *public* randomness (shared by all players, e.g. the common
+// sample points of the Lemma 7 rejection sampler) from *private* randomness
+// (per player). Source.Split yields independent child streams so that the
+// two kinds of randomness, and the streams of different players, never
+// interfere: drawing more values from one stream does not perturb another.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood 2014), chosen because
+// it is tiny, fast, passes standard statistical batteries at the scale we
+// use it, and splits cleanly by hashing a child index into a fresh seed.
+package rng
+
+import "math"
+
+// Source is a deterministic stream of pseudo-random values.
+//
+// A Source is NOT safe for concurrent use; give each goroutine its own
+// stream via Split.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources built from the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// splitmix64 advances a state word and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	return splitmix64(&s.state)
+}
+
+// Split derives an independent child stream identified by index. The child
+// stream is a pure function of (parent seed, consumed outputs, index), so
+// callers typically Split immediately after New with fixed indices to get
+// stable, named sub-streams.
+func (s *Source) Split(index uint64) *Source {
+	// Mix the child index through an independent SplitMix round so that
+	// nearby indices yield unrelated seeds.
+	st := s.Uint64() ^ (index + 0x632be59bd9b4e019)
+	_ = splitmix64(&st)
+	return &Source{state: st}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics only on n <= 0, which is
+// always a programming error at the call site (never data-dependent).
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns true with probability 1/2.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller, polar form).
+// Used only for statistical utilities in the experiment harness.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns a uniformly random size-m subset of
+// [0, n), in increasing order. It runs in O(m) expected time using Floyd's
+// algorithm. Returns nil if m <= 0; if m >= n it returns all of [0, n).
+func (s *Source) SampleWithoutReplacement(n, m int) []int {
+	if m <= 0 || n <= 0 {
+		return nil
+	}
+	if m >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	chosen := make(map[int]struct{}, m)
+	for j := n - m; j < n; j++ {
+		t := s.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+	}
+	out := make([]int, 0, m)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+// sortInts is a small insertion/heap hybrid avoiding the sort package's
+// interface overhead for the tiny slices we produce here.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
