@@ -6,10 +6,13 @@ package broadcastic_test
 //	go test -bench=. -benchmem
 //
 // reproduces every figure/table of the reproduction. Set
-// BROADCASTIC_SCALE=quick to run the reduced parameter grids.
+// BROADCASTIC_SCALE=quick to run the reduced parameter grids and
+// BROADCASTIC_WORKERS=N to bound sweep parallelism (default: one worker
+// per CPU; tables are bit-identical for every value).
 
 import (
 	"os"
+	"strconv"
 	"testing"
 
 	"broadcastic/internal/sim"
@@ -19,6 +22,9 @@ func benchConfig() sim.Config {
 	cfg := sim.Config{Seed: 1, Scale: sim.Full}
 	if os.Getenv("BROADCASTIC_SCALE") == "quick" {
 		cfg.Scale = sim.Quick
+	}
+	if w, err := strconv.Atoi(os.Getenv("BROADCASTIC_WORKERS")); err == nil {
+		cfg.Workers = w
 	}
 	return cfg
 }

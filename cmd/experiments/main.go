@@ -1,9 +1,9 @@
-// Command experiments runs the complete reproduction suite (E1–E13 from
+// Command experiments runs the complete reproduction suite (E1–E19 from
 // EXPERIMENTS.md) and prints one table per experiment.
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale quick|full] [-only E4,E7]
+//	experiments [-seed N] [-scale quick|full] [-only E4,E7] [-parallel N]
 package main
 
 import (
@@ -27,10 +27,11 @@ func run(args []string, out *os.File) error {
 	seed := fs.Uint64("seed", 1, "root random seed")
 	scale := fs.String("scale", "full", "experiment scale: quick or full")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
+	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU); output is identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := sim.Config{Seed: *seed}
+	cfg := sim.Config{Seed: *seed, Workers: *parallel}
 	switch *scale {
 	case "quick":
 		cfg.Scale = sim.Quick

@@ -13,3 +13,32 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatal("bogus scale accepted")
 	}
 }
+
+// TestRunParallelFlagDeterminism runs the same experiment selection at
+// -parallel 1 and -parallel 4 and requires byte-identical output.
+func TestRunParallelFlagDeterminism(t *testing.T) {
+	capture := func(parallel string) string {
+		t.Helper()
+		f, err := os.CreateTemp(t.TempDir(), "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := run([]string{"-scale", "quick", "-only", "E1,E10", "-parallel", parallel}, f); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := capture("1")
+	parallel := capture("4")
+	if len(serial) == 0 {
+		t.Fatal("empty output")
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel 4 output differs from -parallel 1:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}

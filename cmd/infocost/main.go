@@ -5,7 +5,7 @@
 // Usage:
 //
 //	infocost [-k 8] [-protocol sequential|broadcast|lazy] [-delta 0.1]
-//	         [-method auto|exact|mc] [-samples 20000] [-seed 1]
+//	         [-method auto|exact|mc] [-samples 20000] [-seed 1] [-parallel N]
 package main
 
 import (
@@ -35,6 +35,7 @@ func run(args []string) error {
 	method := fs.String("method", "auto", "computation: auto, exact or mc")
 	samples := fs.Int("samples", 20000, "Monte-Carlo samples")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "Monte-Carlo worker goroutines (0 = one per CPU); estimates are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +87,7 @@ func run(args []string) error {
 			float64(*k)/math.Log2(float64(*k)))
 		return nil
 	}
-	est, err := core.EstimateCIC(spec, mu, rng.New(*seed), *samples)
+	est, err := core.EstimateCICWorkers(spec, mu, rng.New(*seed), *samples, *parallel)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,9 @@ func TestRunSmoke(t *testing.T) {
 	if err := run([]string{"-k", "32", "-method", "mc", "-samples", "500"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-k", "32", "-method", "mc", "-samples", "500", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := run([]string{"-k", "4", "-protocol", "broadcast"}); err != nil {
 		t.Fatal(err)
 	}

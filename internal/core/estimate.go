@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
 )
 
@@ -20,6 +21,19 @@ type CICEstimate struct {
 	MeanBits float64
 }
 
+// cicShardSize is the per-shard sample granularity of the estimator. The
+// shard layout is a pure function of the total sample count — never of the
+// worker count — which is what makes the estimate bit-identical at any
+// parallelism: workers only decide *when* a shard runs, not what it draws
+// or where its moments land in the merge.
+const cicShardSize = 512
+
+// cicPartial holds one shard's raw moments; shards are merged exactly, in
+// shard order, so the reduction is a fixed serial float computation.
+type cicPartial struct {
+	sum, sumSq, bitsSum float64
+}
+
 // EstimateCIC estimates I(Π; X | D) by sampling executions. Each sample
 // draws (z, x) from the prior, simulates the protocol while maintaining the
 // Lemma 3 q-factors along the sampled path, and evaluates the *exact* inner
@@ -27,7 +41,21 @@ type CICEstimate struct {
 // the inner term is exact, the estimator is unbiased with variance bounded
 // by the inner term's variance; no transcript histograms are needed, so it
 // scales to thousands of players.
+//
+// The sample budget is split into fixed-size shards, each drawing from its
+// own child stream of src (see rng.Source.SplitN). EstimateCIC runs the
+// shards serially; EstimateCICWorkers runs the same shards on a worker
+// pool and returns bit-identical results.
 func EstimateCIC(spec Spec, prior Prior, src *rng.Source, samples int) (*CICEstimate, error) {
+	return EstimateCICWorkers(spec, prior, src, samples, 1)
+}
+
+// EstimateCICWorkers is EstimateCIC with the shard set evaluated by up to
+// workers goroutines (workers <= 0 means one per CPU). The mean, standard
+// error and mean communication are bit-identical for every worker count:
+// shard streams are derived serially up front and shard moments are merged
+// in shard order.
+func EstimateCICWorkers(spec Spec, prior Prior, src *rng.Source, samples, workers int) (*CICEstimate, error) {
 	if err := validateShapes(spec, prior); err != nil {
 		return nil, err
 	}
@@ -37,48 +65,24 @@ func EstimateCIC(spec Spec, prior Prior, src *rng.Source, samples int) (*CICEsti
 	if src == nil {
 		return nil, fmt.Errorf("core: nil randomness source")
 	}
-	zd, err := auxDist(prior)
+	shards := (samples + cicShardSize - 1) / cicShardSize
+	streams := src.SplitN(shards)
+	parts, err := pool.Map(pool.Workers(workers), shards, func(i int) (cicPartial, error) {
+		count := cicShardSize
+		if i == shards-1 {
+			count = samples - i*cicShardSize
+		}
+		return cicShard(spec, prior, streams[i], count)
+	})
 	if err != nil {
 		return nil, err
 	}
-	k := spec.NumPlayers()
-	inputSize := spec.InputSize()
-
 	var sum, sumSq, bitsSum float64
-	x := make([]int, k)
-	priors := make([][]float64, k)
-	q := make([][]float64, k)
-	for i := range q {
-		q[i] = make([]float64, inputSize)
+	for _, p := range parts {
+		sum += p.sum
+		sumSq += p.sumSq
+		bitsSum += p.bitsSum
 	}
-
-	for s := 0; s < samples; s++ {
-		z := zd.Sample(src)
-		for i := 0; i < k; i++ {
-			d, err := prior.PlayerDist(z, i)
-			if err != nil {
-				return nil, err
-			}
-			priors[i] = d.Probs()
-			x[i] = d.Sample(src)
-			for v := range q[i] {
-				q[i][v] = 1
-			}
-		}
-		bits, err := sampleExecution(spec, x, q, src)
-		if err != nil {
-			return nil, err
-		}
-		leaf := &Leaf{Q: q}
-		inner, err := posteriorDivergenceSum(leaf, priors)
-		if err != nil {
-			return nil, err
-		}
-		sum += inner
-		sumSq += inner * inner
-		bitsSum += float64(bits)
-	}
-
 	mean := sum / float64(samples)
 	variance := sumSq/float64(samples) - mean*mean
 	if variance < 0 {
@@ -90,6 +94,53 @@ func EstimateCIC(spec Spec, prior Prior, src *rng.Source, samples int) (*CICEsti
 		Samples:  samples,
 		MeanBits: bitsSum / float64(samples),
 	}, nil
+}
+
+// cicShard draws count samples from src and accumulates their raw moments.
+// All mutable state (input vector, q-factors, prior rows) is shard-local.
+func cicShard(spec Spec, prior Prior, src *rng.Source, count int) (cicPartial, error) {
+	zd, err := auxDist(prior)
+	if err != nil {
+		return cicPartial{}, err
+	}
+	k := spec.NumPlayers()
+	inputSize := spec.InputSize()
+
+	var p cicPartial
+	x := make([]int, k)
+	priors := make([][]float64, k)
+	q := make([][]float64, k)
+	for i := range q {
+		q[i] = make([]float64, inputSize)
+	}
+
+	for s := 0; s < count; s++ {
+		z := zd.Sample(src)
+		for i := 0; i < k; i++ {
+			d, err := prior.PlayerDist(z, i)
+			if err != nil {
+				return cicPartial{}, err
+			}
+			priors[i] = d.Probs()
+			x[i] = d.Sample(src)
+			for v := range q[i] {
+				q[i][v] = 1
+			}
+		}
+		bits, err := sampleExecution(spec, x, q, src)
+		if err != nil {
+			return cicPartial{}, err
+		}
+		leaf := &Leaf{Q: q}
+		inner, err := posteriorDivergenceSum(leaf, priors)
+		if err != nil {
+			return cicPartial{}, err
+		}
+		p.sum += inner
+		p.sumSq += inner * inner
+		p.bitsSum += float64(bits)
+	}
+	return p, nil
 }
 
 // sampleExecution simulates one run of spec on input x, updating the

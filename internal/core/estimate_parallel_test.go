@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/rng"
+)
+
+// TestEstimateCICWorkerCountInvariance is the estimator half of the
+// serial-equivalence guarantee: the sharded Monte-Carlo estimate must be
+// bit-identical — not merely statistically close — at every worker count,
+// because shard streams are derived serially and shard moments merge in
+// shard order.
+func TestEstimateCICWorkerCountInvariance(t *testing.T) {
+	const k = 32
+	// 1300 samples spans multiple shards including a ragged final shard.
+	const samples = 1300
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.EstimateCIC(spec, mu, rng.New(17), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Mean <= 0 || ref.StdErr <= 0 || ref.MeanBits <= 0 {
+		t.Fatalf("degenerate reference estimate %+v", ref)
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+		got, err := core.EstimateCICWorkers(spec, mu, rng.New(17), samples, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mean != ref.Mean || got.StdErr != ref.StdErr ||
+			got.MeanBits != ref.MeanBits || got.Samples != ref.Samples {
+			t.Fatalf("workers=%d: estimate %+v differs from serial %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestEstimateCICShardRaggedBudgets checks sample budgets around the shard
+// boundary: below one shard, exactly one shard, and a few shards plus a
+// remainder must all account for every requested sample.
+func TestEstimateCICShardRaggedBudgets(t *testing.T) {
+	const k = 4
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, samples := range []int{1, 3, 511, 512, 513, 1025} {
+		est, err := core.EstimateCICWorkers(spec, mu, rng.New(3), samples, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Samples != samples {
+			t.Fatalf("samples=%d: estimate reports %d samples", samples, est.Samples)
+		}
+		if est.MeanBits <= 0 {
+			t.Fatalf("samples=%d: non-positive mean bits %v", samples, est.MeanBits)
+		}
+	}
+}
+
+func TestEstimateCICWorkersValidation(t *testing.T) {
+	spec, _ := andk.NewSequential(3)
+	mu, _ := dist.NewMu(3)
+	if _, err := core.EstimateCICWorkers(spec, mu, nil, 10, 4); err == nil {
+		t.Fatal("nil source succeeded")
+	}
+	if _, err := core.EstimateCICWorkers(spec, mu, rng.New(1), 0, 4); err == nil {
+		t.Fatal("zero samples succeeded")
+	}
+}

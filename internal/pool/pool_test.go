@@ -1,0 +1,92 @@
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 100} {
+		got, err := Map(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map on zero cells = %v, %v", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 100, func(i int) (int, error) {
+			if i == 3 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: failing cell did not surface an error", workers)
+		}
+	}
+}
+
+func TestMapErrorStopsNewCells(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, fmt.Errorf("always fails")
+	})
+	if err == nil {
+		t.Fatal("no error surfaced")
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d cells ran despite early failure", n)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var active, peak atomic.Int64
+	const workers = 3
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		cur := active.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent cells, worker bound is %d", p, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("zero did not default to GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative did not default to GOMAXPROCS")
+	}
+}

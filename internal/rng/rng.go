@@ -57,6 +57,24 @@ func (s *Source) Split(index uint64) *Source {
 	return &Source{state: st}
 }
 
+// SplitN derives n independent child streams, identical to calling
+// Split(0), Split(1), …, Split(n-1) in order. This is the seed-derivation
+// idiom behind the deterministic parallel engine: the derivation itself is
+// serial (it consumes n parent outputs in a fixed order), after which each
+// child stream can be consumed by a different goroutine without any
+// cross-stream interference — so parallel results cannot depend on worker
+// count or scheduling.
+func (s *Source) SplitN(n int) []*Source {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split(uint64(i))
+	}
+	return out
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

@@ -43,6 +43,42 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	const n = 8
+	a := New(99)
+	children := a.SplitN(n)
+	b := New(99)
+	for i := 0; i < n; i++ {
+		want := b.Split(uint64(i))
+		for step := 0; step < 50; step++ {
+			if got, w := children[i].Uint64(), want.Uint64(); got != w {
+				t.Fatalf("SplitN child %d diverged from Split(%d) at step %d", i, i, step)
+			}
+		}
+	}
+}
+
+func TestSplitNDegenerate(t *testing.T) {
+	if got := New(1).SplitN(0); got != nil {
+		t.Fatalf("SplitN(0) = %v, want nil", got)
+	}
+	if got := New(1).SplitN(-3); got != nil {
+		t.Fatalf("SplitN(-3) = %v, want nil", got)
+	}
+}
+
+func TestSplitNChildrenPairwiseDistinct(t *testing.T) {
+	children := New(5).SplitN(16)
+	seen := map[uint64]int{}
+	for i, c := range children {
+		v := c.Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("children %d and %d share first output %x", j, i, v)
+		}
+		seen[v] = i
+	}
+}
+
 func TestSplitChildrenDiffer(t *testing.T) {
 	p1 := New(7)
 	p2 := New(7)

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"broadcastic/internal/pool"
+	"broadcastic/internal/rng"
+)
+
+// The parallel sweep engine.
+//
+// Every experiment is a parameter sweep whose cells (grid points) are
+// independent: each cell samples its own instances, runs its own protocol
+// executions, and produces its own table row(s). The engine evaluates the
+// cells on a worker pool while keeping the output bit-identical to a
+// serial run at any worker count, by construction:
+//
+//   - cell randomness comes from per-cell child streams derived serially
+//     up front (rng.Source.SplitN), so what a cell draws can never depend
+//     on which goroutine runs it or when;
+//   - results come back in cell order (pool.Map), so tables are assembled
+//     in the same deterministic order regardless of completion order.
+
+// workers resolves the configured worker count (0 → one per CPU).
+func (c Config) workers() int { return pool.Workers(c.Workers) }
+
+// sweep evaluates one result per cell on the worker pool. Cell i receives
+// the i-th child stream of base (nil if base is nil, for sweeps that use
+// no randomness); results are returned in cell order.
+func sweep[T any](cfg Config, base *rng.Source, n int, fn func(cell int, src *rng.Source) (T, error)) ([]T, error) {
+	var streams []*rng.Source
+	if base != nil {
+		streams = base.SplitN(n)
+	}
+	return pool.Map(cfg.workers(), n, func(i int) (T, error) {
+		var src *rng.Source
+		if streams != nil {
+			src = streams[i]
+		}
+		return fn(i, src)
+	})
+}
+
+// sweepRows is sweep specialized to the common case of exactly one table
+// row per cell, appending the rows to t in cell order.
+func sweepRows(cfg Config, t *Table, base *rng.Source, n int, fn func(cell int, src *rng.Source) ([]string, error)) error {
+	rows, err := sweep(cfg, base, n, fn)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return nil
+}

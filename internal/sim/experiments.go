@@ -13,6 +13,7 @@ import (
 	"broadcastic/internal/info"
 	"broadcastic/internal/intersect"
 	"broadcastic/internal/pointwise"
+	"broadcastic/internal/pool"
 	"broadcastic/internal/prob"
 	"broadcastic/internal/radio"
 	"broadcastic/internal/rng"
@@ -31,8 +32,15 @@ const (
 
 // Config parameterizes every experiment.
 type Config struct {
-	Seed  uint64
+	// Seed is the root of every random stream an experiment draws from;
+	// fixed seed means bit-identical tables.
+	Seed uint64
+	// Scale selects the parameter grids (Quick or Full).
 	Scale Scale
+	// Workers bounds how many sweep cells run concurrently; 0 (the
+	// default) means one worker per CPU. The rendered tables are
+	// bit-identical for every value — see engine.go for why.
+	Workers int
 }
 
 func (c Config) scaleOK() error {
@@ -56,14 +64,14 @@ func E1DisjScalingN(cfg Config) (*Table, error) {
 		ns = []int{256, 1024}
 		trials = 2
 	}
-	src := rng.New(cfg.Seed)
 	t := &Table{
 		ID:     "E1",
 		Title:  fmt.Sprintf("Optimal DISJ protocol, bits vs n (k=%d, disjoint inputs ~ mu^n)", k),
 		Note:   "Theorem 2 shape: bits/(n log2 k + k) ~ constant; bits/(n log2 n) decays.",
 		Header: []string{"n", "bits", "bits/(n·log2k+k)", "bits/(n·log2n)"},
 	}
-	for _, n := range ns {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed), len(ns), func(cell int, src *rng.Source) ([]string, error) {
+		n := ns[cell]
 		var bits []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := disj.GenerateFromMuN(src, n, k)
@@ -80,12 +88,15 @@ func E1DisjScalingN(cfg Config) (*Table, error) {
 			bits = append(bits, float64(out.Bits))
 		}
 		s := Summarize(bits)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", n),
 			F(s.Mean),
-			F(s.Mean/disj.OptimalCostModel(n, k)),
-			F(s.Mean/(float64(n)*math.Log2(float64(n)))),
-		)
+			F(s.Mean / disj.OptimalCostModel(n, k)),
+			F(s.Mean / (float64(n) * math.Log2(float64(n)))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -103,14 +114,14 @@ func E2DisjScalingK(cfg Config) (*Table, error) {
 		n = 1024
 		trials = 2
 	}
-	src := rng.New(cfg.Seed + 1)
 	t := &Table{
 		ID:     "E2",
 		Title:  fmt.Sprintf("Optimal DISJ protocol, bits vs k (n=%d)", n),
 		Note:   "Theorem 2 shape: cost grows like log k, not like k.",
 		Header: []string{"k", "bits", "bits/(n·log2k+k)", "bits/k"},
 	}
-	for _, k := range ks {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+1), len(ks), func(cell int, src *rng.Source) ([]string, error) {
+		k := ks[cell]
 		var bits []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := disj.GenerateFromMuN(src, n, k)
@@ -124,12 +135,15 @@ func E2DisjScalingK(cfg Config) (*Table, error) {
 			bits = append(bits, float64(out.Bits))
 		}
 		s := Summarize(bits)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", k),
 			F(s.Mean),
-			F(s.Mean/disj.OptimalCostModel(n, k)),
-			F(s.Mean/float64(k)),
-		)
+			F(s.Mean / disj.OptimalCostModel(n, k)),
+			F(s.Mean / float64(k)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -149,14 +163,14 @@ func E3NaiveVsOptimal(cfg Config) (*Table, error) {
 		grid = grid[:2]
 		trials = 1
 	}
-	src := rng.New(cfg.Seed + 2)
 	t := &Table{
 		ID:     "E3",
 		Title:  "Naive vs optimal DISJ protocol",
 		Note:   "Intro claim: the optimal protocol wins by ≈ log n / log k on disjoint inputs.",
 		Header: []string{"n", "k", "naive bits", "optimal bits", "naive/optimal", "log2n/log2k"},
 	}
-	for _, g := range grid {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+2), len(grid), func(cell int, src *rng.Source) ([]string, error) {
+		g := grid[cell]
 		var naive, opt []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := disj.GenerateFromMuN(src, g.n, g.k)
@@ -178,14 +192,17 @@ func E3NaiveVsOptimal(cfg Config) (*Table, error) {
 			opt = append(opt, float64(oo.Bits))
 		}
 		ns, os := Summarize(naive), Summarize(opt)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", g.n),
 			fmt.Sprintf("%d", g.k),
 			F(ns.Mean),
 			F(os.Mean),
-			F(ns.Mean/os.Mean),
-			F(math.Log2(float64(g.n))/math.Log2(float64(g.k))),
-		)
+			F(ns.Mean / os.Mean),
+			F(math.Log2(float64(g.n)) / math.Log2(float64(g.k))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -205,62 +222,84 @@ func E4AndInfoCost(cfg Config) (*Table, error) {
 		mcKs = []int{32}
 		samples = 2000
 	}
-	src := rng.New(cfg.Seed + 3)
-	t := &Table{
-		ID:     "E4",
-		Title:  "Conditional information cost of AND_k under the hard distribution mu",
-		Note:   "Theorem 1 shape: CIC grows linearly in log2 k (slope reported in the final row).",
-		Header: []string{"k", "method", "CIC (bits)", "stderr", "CIC/log2k"},
-	}
-	var xs, ys []float64
-	for _, k := range exactKs {
-		spec, err := andk.NewSequential(k)
-		if err != nil {
-			return nil, err
-		}
-		mu, err := dist.NewMu(k)
-		if err != nil {
-			return nil, err
-		}
-		r, err := core.ExactCosts(spec, mu, core.TreeLimits{})
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, math.Log2(float64(k)))
-		ys = append(ys, r.CIC)
-		t.AddRow(fmt.Sprintf("%d", k), "exact", F(r.CIC), "0", F(r.CIC/math.Log2(float64(k))))
-	}
-	for _, k := range mcKs {
-		spec, err := andk.NewSequential(k)
-		if err != nil {
-			return nil, err
-		}
-		mu, err := dist.NewMu(k)
-		if err != nil {
-			return nil, err
-		}
-		est, err := core.EstimateCIC(spec, mu, src.Split(uint64(k)), samples)
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, math.Log2(float64(k)))
-		ys = append(ys, est.Mean)
-		t.AddRow(fmt.Sprintf("%d", k), "monte-carlo", F(est.Mean), F(est.StdErr), F(est.Mean/math.Log2(float64(k))))
-	}
 	// Closed-form rows (derived in internal/andk, cross-checked against
 	// enumeration and sampling in the tests) extend the sweep to k = 2^20.
 	closedKs := []int{1 << 14, 1 << 17, 1 << 20}
 	if cfg.Scale == Quick {
 		closedKs = []int{1 << 14}
 	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "Conditional information cost of AND_k under the hard distribution mu",
+		Note:   "Theorem 1 shape: CIC grows linearly in log2 k (slope reported in the final row).",
+		Header: []string{"k", "method", "CIC (bits)", "stderr", "CIC/log2k"},
+	}
+	type cellSpec struct {
+		k      int
+		method string
+	}
+	var cells []cellSpec
+	for _, k := range exactKs {
+		cells = append(cells, cellSpec{k, "exact"})
+	}
+	for _, k := range mcKs {
+		cells = append(cells, cellSpec{k, "monte-carlo"})
+	}
 	for _, k := range closedKs {
-		cic, err := andk.SequentialCICExact(k)
-		if err != nil {
-			return nil, err
+		cells = append(cells, cellSpec{k, "closed-form"})
+	}
+	type cellOut struct {
+		cic    float64
+		stderr string
+	}
+	results, err := sweep(cfg, rng.New(cfg.Seed+3), len(cells), func(cell int, src *rng.Source) (cellOut, error) {
+		c := cells[cell]
+		switch c.method {
+		case "exact":
+			spec, err := andk.NewSequential(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			mu, err := dist.NewMu(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			r, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: r.CIC, stderr: "0"}, nil
+		case "monte-carlo":
+			spec, err := andk.NewSequential(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			mu, err := dist.NewMu(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			est, err := core.EstimateCICWorkers(spec, mu, src, samples, cfg.workers())
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: est.Mean, stderr: F(est.StdErr)}, nil
+		default:
+			cic, err := andk.SequentialCICExact(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: cic, stderr: "0"}, nil
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for i, r := range results {
+		k := cells[i].k
 		xs = append(xs, math.Log2(float64(k)))
-		ys = append(ys, cic)
-		t.AddRow(fmt.Sprintf("%d", k), "closed-form", F(cic), "0", F(cic/math.Log2(float64(k))))
+		ys = append(ys, r.cic)
+		t.AddRow(fmt.Sprintf("%d", k), cells[i].method, F(r.cic), r.stderr, F(r.cic/math.Log2(float64(k))))
 	}
 	slope, intercept, err := FitSlope(xs, ys)
 	if err != nil {
@@ -299,7 +338,8 @@ func E5DirectSum(cfg Config) (*Table, error) {
 		Note:   "Lemma 1: CIC(DISJ) >= n·CIC(AND); for the per-coordinate protocol it is exactly n·CIC(AND).",
 		Header: []string{"n", "CIC(DISJ)", "n·CIC(AND)", "per-copy", "ratio"},
 	}
-	for _, n := range ns {
+	err = sweepRows(cfg, t, nil, len(ns), func(cell int, _ *rng.Source) ([]string, error) {
+		n := ns[cell]
 		spec, err := disj.NewSequentialSpec(n, k)
 		if err != nil {
 			return nil, err
@@ -312,13 +352,16 @@ func E5DirectSum(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", n),
 			F(r.CIC),
-			F(float64(n)*base.CIC),
-			F(r.CIC/float64(n)),
-			F(r.CIC/(float64(n)*base.CIC)),
-		)
+			F(float64(n) * base.CIC),
+			F(r.CIC / float64(n)),
+			F(r.CIC / (float64(n) * base.CIC)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -342,14 +385,14 @@ func E6TruncatedError(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.Seed + 5)
 	t := &Table{
 		ID:     "E6",
 		Title:  fmt.Sprintf("Lemma 6: error of m-speaker deterministic AND_k (k=%d, eps'=%v)", k, epsPrime),
 		Note:   "Any protocol with fewer than (1 − eps/(1−eps'))·k speakers on 1^k errs with probability > eps.",
 		Header: []string{"m", "m/k", "measured error", "predicted (1-eps')(k-m)/k"},
 	}
-	for _, frac := range fracs {
+	err = sweepRows(cfg, t, rng.New(cfg.Seed+5), len(fracs), func(cell int, src *rng.Source) ([]string, error) {
+		frac := fracs[cell]
 		m := int(math.Ceil(frac * k))
 		if m < 1 {
 			m = 1
@@ -368,12 +411,15 @@ func E6TruncatedError(cfg Config) (*Table, error) {
 				wrong++
 			}
 		}
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", m),
 			F(frac),
-			F(float64(wrong)/float64(trials)),
-			F((1-epsPrime)*float64(k-m)/float64(k)),
-		)
+			F(float64(wrong) / float64(trials)),
+			F((1 - epsPrime) * float64(k-m) / float64(k)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -393,7 +439,10 @@ func E7InfoCommGap(cfg Config) (*Table, error) {
 		mcKs = []int{64}
 		samples = 2000
 	}
-	src := rng.New(cfg.Seed + 6)
+	closedKs := []int{1 << 14, 1 << 20}
+	if cfg.Scale == Quick {
+		closedKs = nil
+	}
 	t := &Table{
 		ID:    "E7",
 		Title: "Information vs communication gap for AND_k (sequential protocol)",
@@ -401,75 +450,93 @@ func E7InfoCommGap(cfg Config) (*Table, error) {
 			"the gap CC/IC grows like k/log k.",
 		Header: []string{"k", "CC (worst)", "CIC (bits)", "IC (bits)", "H(Π) bound", "gap CC/IC", "k/log2k"},
 	}
-	appendRow := func(k int, cic, ic float64) {
-		hBound := math.Log2(float64(k + 1))
+	type cellSpec struct {
+		k      int
+		method string
+	}
+	var cells []cellSpec
+	for _, k := range exactKs {
+		cells = append(cells, cellSpec{k, "exact"})
+	}
+	for _, k := range mcKs {
+		cells = append(cells, cellSpec{k, "monte-carlo"})
+	}
+	for _, k := range closedKs {
+		cells = append(cells, cellSpec{k, "closed-form"})
+	}
+	type cellOut struct {
+		cic, ic float64
+	}
+	results, err := sweep(cfg, rng.New(cfg.Seed+6), len(cells), func(cell int, src *rng.Source) (cellOut, error) {
+		c := cells[cell]
+		switch c.method {
+		case "exact":
+			spec, err := andk.NewSequential(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			mu, err := dist.NewMu(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			r, err := core.ExactCosts(spec, mu, core.TreeLimits{})
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: r.CIC, ic: r.ExternalIC}, nil
+		case "monte-carlo":
+			spec, err := andk.NewSequential(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			mu, err := dist.NewMu(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			cicEst, err := core.EstimateCICWorkers(spec, mu, src.Split(0), samples, cfg.workers())
+			if err != nil {
+				return cellOut{}, err
+			}
+			// The chain-rule external-IC estimator costs O(k) per round (and
+			// rounds grow with k), so scale its sample budget down with k.
+			icSamples := 200000 / c.k
+			if icSamples < 200 {
+				icSamples = 200
+			}
+			if icSamples > samples {
+				icSamples = samples
+			}
+			icEst, err := core.EstimateExternalIC(spec, mu, src.Split(1), icSamples)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: cicEst.Mean, ic: icEst.Mean}, nil
+		default:
+			cic, err := andk.SequentialCICExact(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			ic, err := andk.SequentialICExact(c.k)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{cic: cic, ic: ic}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		k := cells[i].k
 		t.AddRow(
 			fmt.Sprintf("%d", k),
 			fmt.Sprintf("%d", k),
-			F(cic),
-			F(ic),
-			F(hBound),
-			F(float64(k)/ic),
+			F(r.cic),
+			F(r.ic),
+			F(math.Log2(float64(k+1))),
+			F(float64(k)/r.ic),
 			F(float64(k)/math.Log2(float64(k))),
 		)
-	}
-	for _, k := range exactKs {
-		spec, err := andk.NewSequential(k)
-		if err != nil {
-			return nil, err
-		}
-		mu, err := dist.NewMu(k)
-		if err != nil {
-			return nil, err
-		}
-		r, err := core.ExactCosts(spec, mu, core.TreeLimits{})
-		if err != nil {
-			return nil, err
-		}
-		appendRow(k, r.CIC, r.ExternalIC)
-	}
-	for _, k := range mcKs {
-		spec, err := andk.NewSequential(k)
-		if err != nil {
-			return nil, err
-		}
-		mu, err := dist.NewMu(k)
-		if err != nil {
-			return nil, err
-		}
-		cicEst, err := core.EstimateCIC(spec, mu, src.Split(uint64(k)), samples)
-		if err != nil {
-			return nil, err
-		}
-		// The chain-rule external-IC estimator costs O(k) per round (and
-		// rounds grow with k), so scale its sample budget down with k.
-		icSamples := 200000 / k
-		if icSamples < 200 {
-			icSamples = 200
-		}
-		if icSamples > samples {
-			icSamples = samples
-		}
-		icEst, err := core.EstimateExternalIC(spec, mu, src.Split(uint64(k)+1), icSamples)
-		if err != nil {
-			return nil, err
-		}
-		appendRow(k, cicEst.Mean, icEst.Mean)
-	}
-	closedKs := []int{1 << 14, 1 << 20}
-	if cfg.Scale == Quick {
-		closedKs = nil
-	}
-	for _, k := range closedKs {
-		cic, err := andk.SequentialCICExact(k)
-		if err != nil {
-			return nil, err
-		}
-		ic, err := andk.SequentialICExact(k)
-		if err != nil {
-			return nil, err
-		}
-		appendRow(k, cic, ic)
 	}
 	return t, nil
 }
@@ -495,39 +562,51 @@ func E8GoodTranscripts(cfg Config) (*Table, error) {
 		Note:   fmt.Sprintf("L defined with C=%v; pointing threshold alpha >= %v·k. Pointed mass must stay ~1−delta.", c, cT),
 		Header: []string{"k", "delta", "mass(B1)", "mass(B0)", "mass(L')", "mass(pointed)"},
 	}
+	type cellSpec struct {
+		k     int
+		delta float64
+	}
+	var cells []cellSpec
 	for _, k := range ks {
 		for _, delta := range deltas {
-			var spec core.Spec
-			if delta == 0 {
-				s, err := andk.NewSequential(k)
-				if err != nil {
-					return nil, err
-				}
-				spec = s
-			} else {
-				s, err := andk.NewLazy(k, delta, 1)
-				if err != nil {
-					return nil, err
-				}
-				spec = s
-			}
-			leaves, err := core.EnumerateTranscripts(spec, core.TreeLimits{})
-			if err != nil {
-				return nil, err
-			}
-			rep, err := core.AnalyzeGoodTranscripts(leaves, c, cT)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(
-				fmt.Sprintf("%d", k),
-				F(delta),
-				F(rep.MassB1),
-				F(rep.MassB0),
-				F(rep.MassLPrime),
-				F(rep.MassPointed),
-			)
+			cells = append(cells, cellSpec{k, delta})
 		}
+	}
+	err := sweepRows(cfg, t, nil, len(cells), func(cell int, _ *rng.Source) ([]string, error) {
+		k, delta := cells[cell].k, cells[cell].delta
+		var spec core.Spec
+		if delta == 0 {
+			s, err := andk.NewSequential(k)
+			if err != nil {
+				return nil, err
+			}
+			spec = s
+		} else {
+			s, err := andk.NewLazy(k, delta, 1)
+			if err != nil {
+				return nil, err
+			}
+			spec = s
+		}
+		leaves, err := core.EnumerateTranscripts(spec, core.TreeLimits{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.AnalyzeGoodTranscripts(leaves, c, cT)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			fmt.Sprintf("%d", k),
+			F(delta),
+			F(rep.MassB1),
+			F(rep.MassB0),
+			F(rep.MassLPrime),
+			F(rep.MassPointed),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -549,7 +628,8 @@ func E9PosteriorPointing(cfg Config) (*Table, error) {
 		Note:   "Maximum absolute deviation over all transcripts and players of the Lazy protocol.",
 		Header: []string{"k", "transcripts", "max |bayes - formula|"},
 	}
-	for _, k := range ks {
+	err := sweepRows(cfg, t, nil, len(ks), func(cell int, _ *rng.Source) ([]string, error) {
+		k := ks[cell]
 		spec, err := andk.NewLazy(k, 0.25, 0)
 		if err != nil {
 			return nil, err
@@ -582,7 +662,10 @@ func E9PosteriorPointing(cfg Config) (*Table, error) {
 				}
 			}
 		}
-		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", len(leaves)), F(maxDev))
+		return []string{fmt.Sprintf("%d", k), fmt.Sprintf("%d", len(leaves)), F(maxDev)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -634,7 +717,6 @@ func E10RejectionSampler(cfg Config) (*Table, error) {
 		priors = []float64{0.3, 0.01}
 		trials = 500
 	}
-	public := rng.New(cfg.Seed + 9)
 	t := &Table{
 		ID:     "E10",
 		Title:  "Lemma 7 rejection sampler: bits vs divergence",
@@ -645,7 +727,8 @@ func E10RejectionSampler(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range priors {
+	err = sweepRows(cfg, t, rng.New(cfg.Seed+9), len(priors), func(cell int, public *rng.Source) ([]string, error) {
+		p := priors[cell]
 		nu, err := prob.NewDist([]float64{p, 1 - p})
 		if err != nil {
 			return nil, err
@@ -663,7 +746,10 @@ func E10RejectionSampler(cfg Config) (*Table, error) {
 			total += res.Bits
 		}
 		mean := float64(total) / float64(trials)
-		t.AddRow(F(d), F(mean), F(mean-d), F(compress.CostModel(d, 4)))
+		return []string{F(d), F(mean), F(mean - d), F(compress.CostModel(d, 4))}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -693,23 +779,27 @@ func E11AmortizedCompression(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	curve, err := compress.AmortizedCurve(spec, mu, copyCounts, repeats, rng.New(cfg.Seed+10))
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:     "E11",
 		Title:  fmt.Sprintf("Theorem 3: amortized compression of n AND_%d copies", k),
 		Note:   fmt.Sprintf("Per-copy compressed bits must approach IC = %s from above as n grows.", F(exact.ExternalIC)),
 		Header: []string{"copies", "per-copy bits", "per-copy/IC", "uncompressed per-copy"},
 	}
-	for _, pt := range curve {
-		t.AddRow(
+	err = sweepRows(cfg, t, rng.New(cfg.Seed+10), len(copyCounts), func(cell int, src *rng.Source) ([]string, error) {
+		curve, err := compress.AmortizedCurve(spec, mu, copyCounts[cell:cell+1], repeats, src)
+		if err != nil {
+			return nil, err
+		}
+		pt := curve[0]
+		return []string{
 			fmt.Sprintf("%d", pt.Copies),
 			F(pt.PerCopyBits),
-			F(pt.PerCopyBits/exact.ExternalIC),
+			F(pt.PerCopyBits / exact.ExternalIC),
 			F(pt.PerCopyOrig),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -732,16 +822,28 @@ func E12DivergenceBound(cfg Config) (*Table, error) {
 		Note:   "margin = exact divergence - bound; must be nonnegative everywhere.",
 		Header: []string{"k", "p", "exact D", "bound", "margin"},
 	}
+	type cellSpec struct {
+		k int
+		p float64
+	}
+	var cells []cellSpec
 	for _, k := range ks {
 		for _, p := range ps {
-			exact := info.KLBernoulli(p, 1/float64(k))
-			bound := info.PointedPosteriorDivergenceLB(p, k)
-			margin := exact - bound
-			if margin < -1e-12 {
-				return nil, fmt.Errorf("sim: E12 bound violated at k=%d p=%v", k, p)
-			}
-			t.AddRow(fmt.Sprintf("%d", k), F(p), F(exact), F(bound), F(margin))
+			cells = append(cells, cellSpec{k, p})
 		}
+	}
+	err := sweepRows(cfg, t, nil, len(cells), func(cell int, _ *rng.Source) ([]string, error) {
+		k, p := cells[cell].k, cells[cell].p
+		exact := info.KLBernoulli(p, 1/float64(k))
+		bound := info.PointedPosteriorDivergenceLB(p, k)
+		margin := exact - bound
+		if margin < -1e-12 {
+			return nil, fmt.Errorf("sim: E12 bound violated at k=%d p=%v", k, p)
+		}
+		return []string{fmt.Sprintf("%d", k), F(p), F(exact), F(bound), F(margin)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -759,14 +861,14 @@ func E13SparseIntersection(cfg Config) (*Table, error) {
 		ns = []int{1 << 10, 1 << 14}
 		trials = 10
 	}
-	src := rng.New(cfg.Seed + 12)
 	t := &Table{
 		ID:     "E13",
 		Title:  fmt.Sprintf("Sparse intersection (s=%d, k=%d): hashed vs naive bits", s, k),
 		Note:   "Intro claim (Hastad–Wigderson flavour): the log n factor is avoidable for sparse sets.",
 		Header: []string{"n", "hashed bits", "naive bits", "naive/hashed"},
 	}
-	for _, n := range ns {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+12), len(ns), func(cell int, src *rng.Source) ([]string, error) {
+		n := ns[cell]
 		var hb, nb []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := intersect.Generate(src, n, s, k, tr%2 == 0)
@@ -789,7 +891,10 @@ func E13SparseIntersection(cfg Config) (*Table, error) {
 			nb = append(nb, float64(nv.Bits))
 		}
 		hs, nsm := Summarize(hb), Summarize(nb)
-		t.AddRow(fmt.Sprintf("%d", n), F(hs.Mean), F(nsm.Mean), F(nsm.Mean/hs.Mean))
+		return []string{fmt.Sprintf("%d", n), F(hs.Mean), F(nsm.Mean), F(nsm.Mean / hs.Mean)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -818,7 +923,6 @@ func E14Ablations(cfg Config) (*Table, error) {
 		}{4096, 64, "skew"})
 		trials = 1
 	}
-	src := rng.New(cfg.Seed + 14)
 	t := &Table{
 		ID:    "E14",
 		Title: "Ablations of the Section 5 protocol",
@@ -826,7 +930,8 @@ func E14Ablations(cfg Config) (*Table, error) {
 			"turns out to be an analysis device — measured cost moves < 1.5x either way.",
 		Header: []string{"n", "k", "kind", "full bits", "no-batching", "nb/full", "no-endgame", "ne/full"},
 	}
-	for _, g := range grid {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+14), len(grid), func(cell int, src *rng.Source) ([]string, error) {
+		g := grid[cell]
 		n, k := g.n, g.k
 		var full, noBatch, noEnd []float64
 		for tr := 0; tr < trials; tr++ {
@@ -860,16 +965,19 @@ func E14Ablations(cfg Config) (*Table, error) {
 			noEnd = append(noEnd, float64(ne.Bits))
 		}
 		fs, nbs, nes := Summarize(full), Summarize(noBatch), Summarize(noEnd)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", k),
 			g.kind,
 			F(fs.Mean),
 			F(nbs.Mean),
-			F(nbs.Mean/fs.Mean),
+			F(nbs.Mean / fs.Mean),
 			F(nes.Mean),
-			F(nes.Mean/fs.Mean),
-		)
+			F(nes.Mean / fs.Mean),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -907,7 +1015,6 @@ func E15TwoPartyBaseline(cfg Config) (*Table, error) {
 		ns = []int{4, 6}
 		trials = 2
 	}
-	src := rng.New(cfg.Seed + 15)
 	t := &Table{
 		ID:    "E15",
 		Title: "Two-party baseline: DISJ_n at k=2",
@@ -915,7 +1022,8 @@ func E15TwoPartyBaseline(cfg Config) (*Table, error) {
 			"optimal protocol at k=2 stays within a constant factor of n.",
 		Header: []string{"n", "fooling LB", "trivial worst", "broadcast bits (mean)", "broadcast/n"},
 	}
-	for _, n := range ns {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+15), len(ns), func(cell int, src *rng.Source) ([]string, error) {
+		n := ns[cell]
 		f, err := twoparty.Disjointness(n)
 		if err != nil {
 			return nil, err
@@ -951,13 +1059,16 @@ func E15TwoPartyBaseline(cfg Config) (*Table, error) {
 			bcBits = append(bcBits, float64(out.Bits))
 		}
 		s := Summarize(bcBits)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", fs.LowerBound()),
 			fmt.Sprintf("%d", worst),
 			F(s.Mean),
-			F(s.Mean/float64(n)),
-		)
+			F(s.Mean / float64(n)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -977,7 +1088,6 @@ func E16CostBreakdown(cfg Config) (*Table, error) {
 		grid = grid[:2]
 		trials = 1
 	}
-	src := rng.New(cfg.Seed + 16)
 	t := &Table{
 		ID:    "E16",
 		Title: "Optimal DISJ protocol: where the bits go",
@@ -985,7 +1095,8 @@ func E16CostBreakdown(cfg Config) (*Table, error) {
 			"pass bits ≈ k per cycle; endgame bounded by k²·O(log k).",
 		Header: []string{"n", "k", "total", "pass", "batch", "endgame", "cycles", "batch/coord"},
 	}
-	for _, g := range grid {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+16), len(grid), func(cell int, src *rng.Source) ([]string, error) {
+		g := grid[cell]
 		var tot, pass, batch, end, cycles, perCoord []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := disj.GenerateFromMuN(src, g.n, g.k)
@@ -1003,7 +1114,7 @@ func E16CostBreakdown(cfg Config) (*Table, error) {
 			cycles = append(cycles, float64(bd.Cycles))
 			perCoord = append(perCoord, float64(bd.BatchBits+bd.EndgameBits)/float64(g.n))
 		}
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", g.n),
 			fmt.Sprintf("%d", g.k),
 			F(Summarize(tot).Mean),
@@ -1012,7 +1123,10 @@ func E16CostBreakdown(cfg Config) (*Table, error) {
 			F(Summarize(end).Mean),
 			F(Summarize(cycles).Mean),
 			F(Summarize(perCoord).Mean),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -1032,7 +1146,6 @@ func E17PointwiseOr(cfg Config) (*Table, error) {
 		densities = []float64{0.01, 0.2}
 		trials = 2
 	}
-	src := rng.New(cfg.Seed + 17)
 	t := &Table{
 		ID:    "E17",
 		Title: fmt.Sprintf("Pointwise-OR (union) protocol, n=%d k=%d", n, k),
@@ -1040,7 +1153,8 @@ func E17PointwiseOr(cfg Config) (*Table, error) {
 			"and the naive n·k baseline; near-optimal for sparse unions.",
 		Header: []string{"density", "|U| (mean)", "bits", "info LB", "bits/LB", "naive n·k"},
 	}
-	for _, d := range densities {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+17), len(densities), func(cell int, src *rng.Source) ([]string, error) {
+		d := densities[cell]
 		var size, bits, lbs []float64
 		for tr := 0; tr < trials; tr++ {
 			inst, err := pointwise.Generate(src, n, k, d)
@@ -1067,14 +1181,17 @@ func E17PointwiseOr(cfg Config) (*Table, error) {
 			lbs = append(lbs, float64(lb))
 		}
 		bs, ls := Summarize(bits), Summarize(lbs)
-		t.AddRow(
+		return []string{
 			F(d),
 			F(Summarize(size).Mean),
 			F(bs.Mean),
 			F(ls.Mean),
-			F(bs.Mean/ls.Mean),
+			F(bs.Mean / ls.Mean),
 			fmt.Sprintf("%d", n*k),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -1121,29 +1238,40 @@ func E18InternalVsExternal(cfg Config) (*Table, error) {
 			"does not extend to k > 2, which is why the paper uses external information.",
 		Header: []string{"protocol", "prior", "internal IC", "external IC", "int/ext"},
 	}
-	for _, sp := range specs {
+	type cellSpec struct {
+		spec, prior int
+	}
+	var cells []cellSpec
+	for si := range specs {
+		for pi := range priors {
+			cells = append(cells, cellSpec{si, pi})
+		}
+	}
+	err = sweepRows(cfg, t, nil, len(cells), func(cell int, _ *rng.Source) ([]string, error) {
+		sp, pr := specs[cells[cell].spec], priors[cells[cell].prior]
 		spec, err := sp.mk()
 		if err != nil {
 			return nil, err
 		}
-		for _, pr := range priors {
-			internal, err := core.ExactInternalIC(spec, pr.prior, core.TreeLimits{})
-			if err != nil {
-				return nil, err
-			}
-			external, err := core.ExactCosts(spec, pr.prior, core.TreeLimits{})
-			if err != nil {
-				return nil, err
-			}
-			if internal > external.ExternalIC+1e-9 {
-				return nil, fmt.Errorf("sim: E18 internal exceeds external for %s/%s", sp.name, pr.name)
-			}
-			ratio := 1.0
-			if external.ExternalIC > 0 {
-				ratio = internal / external.ExternalIC
-			}
-			t.AddRow(sp.name, pr.name, F(internal), F(external.ExternalIC), F(ratio))
+		internal, err := core.ExactInternalIC(spec, pr.prior, core.TreeLimits{})
+		if err != nil {
+			return nil, err
 		}
+		external, err := core.ExactCosts(spec, pr.prior, core.TreeLimits{})
+		if err != nil {
+			return nil, err
+		}
+		if internal > external.ExternalIC+1e-9 {
+			return nil, fmt.Errorf("sim: E18 internal exceeds external for %s/%s", sp.name, pr.name)
+		}
+		ratio := 1.0
+		if external.ExternalIC > 0 {
+			ratio = internal / external.ExternalIC
+		}
+		return []string{sp.name, pr.name, F(internal), F(external.ExternalIC), F(ratio)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -1173,7 +1301,6 @@ func E19WirelessContention(cfg Config) (*Table, error) {
 		}{{1024, 8, "mun"}, {1024, 16, "skew"}}
 		trials = 1
 	}
-	src := rng.New(cfg.Seed + 19)
 	t := &Table{
 		ID:    "E19",
 		Title: fmt.Sprintf("Single-hop wireless reading of the broadcast model (%d-bit slots)", payload),
@@ -1182,7 +1309,8 @@ func E19WirelessContention(cfg Config) (*Table, error) {
 			"speaks; contention wins when speakers are rare (skew).",
 		Header: []string{"n", "k", "kind", "polled slots", "contention slots", "collisions", "cont/polled"},
 	}
-	for _, g := range grid {
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+19), len(grid), func(cell int, src *rng.Source) ([]string, error) {
+		g := grid[cell]
 		var polledSlots, contSlots, collisions []float64
 		for tr := 0; tr < trials; tr++ {
 			var inst *disj.Instance
@@ -1211,20 +1339,27 @@ func E19WirelessContention(cfg Config) (*Table, error) {
 			collisions = append(collisions, float64(cRep.Collisions))
 		}
 		ps, cs := Summarize(polledSlots), Summarize(contSlots)
-		t.AddRow(
+		return []string{
 			fmt.Sprintf("%d", g.n),
 			fmt.Sprintf("%d", g.k),
 			g.kind,
 			F(ps.Mean),
 			F(cs.Mean),
 			F(Summarize(collisions).Mean),
-			F(cs.Mean/ps.Mean),
-		)
+			F(cs.Mean / ps.Mean),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
-// All runs every experiment in order.
+// All runs every experiment and returns the tables in E1..E19 order. The
+// experiments themselves run concurrently on the configured worker pool
+// (each one also parallelizes its own sweep); every experiment seeds its
+// randomness independently from cfg.Seed, so the tables are identical to a
+// serial run.
 func All(cfg Config) ([]*Table, error) {
 	funcs := []func(Config) (*Table, error){
 		E1DisjScalingN, E2DisjScalingK, E3NaiveVsOptimal, E4AndInfoCost,
@@ -1234,13 +1369,7 @@ func All(cfg Config) ([]*Table, error) {
 		E15TwoPartyBaseline, E16CostBreakdown, E17PointwiseOr,
 		E18InternalVsExternal, E19WirelessContention,
 	}
-	out := make([]*Table, 0, len(funcs))
-	for _, f := range funcs {
-		tbl, err := f(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
+	return pool.Map(cfg.workers(), len(funcs), func(i int) (*Table, error) {
+		return funcs[i](cfg)
+	})
 }

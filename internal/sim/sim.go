@@ -1,7 +1,9 @@
-// Package sim is the experiment harness: it renders the per-theorem
-// experiments of EXPERIMENTS.md (E1–E13) as tables, with fixed-seed
-// replication and simple summary statistics. cmd/experiments and the root
-// benchmark suite are thin wrappers around this package.
+// Package sim is the experiment harness: it renders the nineteen
+// per-theorem experiments of EXPERIMENTS.md (E1–E19) as tables, with
+// fixed-seed replication and simple summary statistics. Experiments run
+// their sweep cells on a worker pool (see Config.Workers and engine.go)
+// with output that is bit-identical at any worker count. cmd/experiments
+// and the root benchmark suite are thin wrappers around this package.
 package sim
 
 import (
