@@ -1,0 +1,154 @@
+// Command netdisj runs the optimal set-disjointness protocol on the
+// concurrent networked runtime (internal/netrun) and checks transcript
+// conformance against the sequential blackboard reference: same messages,
+// same bit count, same answer, under any transport and any recoverable
+// fault mix.
+//
+// Usage:
+//
+//	netdisj [-n 1024] [-k 6] [-kind mun|disjoint|intersecting]
+//	        [-transport chan|pipe|tcp] [-faults "drop=0.05,corrupt=0.02"]
+//	        [-seed 1] [-timeout 250ms] [-retries 12] [-trials 2]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"broadcastic/internal/blackboard"
+	"broadcastic/internal/disj"
+	"broadcastic/internal/faults"
+	"broadcastic/internal/netrun"
+	"broadcastic/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netdisj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netdisj", flag.ContinueOnError)
+	n := fs.Int("n", 1024, "universe size")
+	k := fs.Int("k", 6, "number of players")
+	kind := fs.String("kind", "mun", "instance kind: mun (hard distribution), disjoint, intersecting")
+	transport := fs.String("transport", "chan", "transport: chan, pipe or tcp")
+	faultSpec := fs.String("faults", "", `fault mix, e.g. "drop=0.05,dup=0.05,corrupt=0.02,delay=0.2:1ms" (empty: none)`)
+	seed := fs.Uint64("seed", 1, "random seed (instances and fault streams)")
+	timeout := fs.Duration("timeout", 250*time.Millisecond, "base per-attempt ARQ timeout")
+	retries := fs.Int("retries", 12, "retransmission budget per frame")
+	trials := fs.Int("trials", 2, "number of instances")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr netrun.Transport
+	switch *transport {
+	case "chan":
+		tr = netrun.NewChanTransport()
+	case "pipe":
+		tr = netrun.NewPipeTransport()
+	case "tcp":
+		tr = netrun.NewTCPTransport()
+	default:
+		return fmt.Errorf("unknown transport %q", *transport)
+	}
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		return err
+	}
+
+	src := rng.New(*seed)
+	fmt.Printf("DISJ_{n=%d, k=%d} on netrun: kind=%s, transport=%s, faults=%q, trials=%d\n\n",
+		*n, *k, *kind, *transport, *faultSpec, *trials)
+	for t := 0; t < *trials; t++ {
+		var inst *disj.Instance
+		switch *kind {
+		case "mun":
+			inst, err = disj.GenerateFromMuN(src, *n, *k)
+		case "disjoint":
+			inst, err = disj.GenerateDisjoint(src, *n, *k, 0.5)
+		case "intersecting":
+			inst, err = disj.GenerateIntersecting(src, *n, *k, 1, 0.5)
+		default:
+			return fmt.Errorf("unknown kind %q", *kind)
+		}
+		if err != nil {
+			return err
+		}
+		truth, err := inst.Disjoint()
+		if err != nil {
+			return err
+		}
+
+		// Sequential reference run on the same instance.
+		refProto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+		if err != nil {
+			return err
+		}
+		refRes, err := blackboard.Run(refProto.Scheduler(), refProto.Players(), nil, refProto.Limits())
+		if err != nil {
+			return err
+		}
+		refOut, err := refProto.Outcome(refRes.Board)
+		if err != nil {
+			return err
+		}
+
+		// Networked run; protocols are single-use, so build a fresh one.
+		proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+		if err != nil {
+			return err
+		}
+		res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
+			Transport:  tr,
+			Faults:     plan,
+			Seed:       src.Uint64(),
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+			Limits:     proto.Limits(),
+		})
+		if err != nil {
+			if errors.Is(err, netrun.ErrPlayerCrashed) && res != nil {
+				fmt.Printf("trial %d: crashed players %v after %d messages (%d board bits)\n",
+					t, res.Crashed, res.Board.NumMessages(), res.Board.TotalBits())
+				continue
+			}
+			return err
+		}
+		out, err := proto.Outcome(res.Board)
+		if err != nil {
+			return err
+		}
+		if out.Disjoint != truth {
+			return fmt.Errorf("trial %d: networked run answered disjoint=%v, truth is %v", t, out.Disjoint, truth)
+		}
+		if res.Board.TranscriptKey() != refRes.Board.TranscriptKey() {
+			return fmt.Errorf("trial %d: networked transcript diverges from sequential reference", t)
+		}
+		if res.Stats.BoardBits != refOut.Bits {
+			return fmt.Errorf("trial %d: board bits %d != sequential %d", t, res.Stats.BoardBits, refOut.Bits)
+		}
+
+		c := res.Stats.Faults
+		fmt.Printf("trial %d (disjoint=%v): conformant with sequential reference\n", t, truth)
+		fmt.Printf("  board: %8d bits  %5d messages\n", res.Stats.BoardBits, res.Board.NumMessages())
+		fmt.Printf("  wire:  %8d bits  (%.3f × board)  retries=%d\n",
+			res.Stats.WireBits, float64(res.Stats.WireBits)/float64(res.Stats.BoardBits), totalRetries(res.Stats))
+		fmt.Printf("  faults injected: drop=%d dup=%d corrupt=%d delay=%d\n", c.Drops, c.Duplicates, c.Corruptions, c.Delays)
+	}
+	return nil
+}
+
+func totalRetries(s netrun.Stats) int64 {
+	var total int64
+	for _, ps := range s.PerPlayer {
+		total += ps.Retries
+	}
+	return total
+}

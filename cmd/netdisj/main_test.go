@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-n", "128", "-k", "4", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-kind", "disjoint", "-transport", "pipe", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-kind", "intersecting",
+		"-faults", "drop=0.05,corrupt=0.02", "-timeout", "50ms", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "bogus"}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := run([]string{"-transport", "bogus"}); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+	if err := run([]string{"-faults", "drop=2"}); err == nil {
+		t.Fatal("invalid fault probability accepted")
+	}
+}

@@ -6,6 +6,12 @@
 // Section 6 compression machinery (Lemma 7 rejection sampling, Theorem 3
 // amortization).
 //
+// Protocols run on two interchangeable runtimes: the sequential
+// blackboard and internal/netrun, a concurrent networked runtime (one
+// goroutine per player, pluggable chan/pipe/TCP transports, seeded fault
+// injection) whose board transcripts are bit-identical to the sequential
+// execution.
+//
 // The library lives under internal/; see README.md for the package map,
 // examples/ for runnable entry points, and bench_test.go for the
 // experiment suite (one benchmark per reproduced claim, E1–E13).

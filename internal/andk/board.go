@@ -1,0 +1,18 @@
+package andk
+
+import (
+	"broadcastic/internal/core"
+)
+
+// BoardProtocol instantiates the protocol on concrete inputs in blackboard
+// form, for runtimes that drive the blackboard state machine directly
+// (e.g. internal/netrun). All AND_k variants here are deterministic specs,
+// so no private randomness is needed.
+func (s *Sequential) BoardProtocol(x []int) (*core.SpecProtocol, error) {
+	return core.NewSpecProtocol(s, x, nil)
+}
+
+// BoardProtocol is the BroadcastAll analogue of (*Sequential).BoardProtocol.
+func (b *BroadcastAll) BoardProtocol(x []int) (*core.SpecProtocol, error) {
+	return core.NewSpecProtocol(b, x, nil)
+}

@@ -83,7 +83,12 @@ func (b *Board) NumPlayers() int { return b.numPlayers }
 // provided. All players observe the same stream, advanced in board order.
 func (b *Board) Public() *rng.Source { return b.public }
 
-// Append writes a message on the board.
+// Append writes a message on the board. The message must be well-formed:
+// its player in range, its length within the payload, and — per the Message
+// contract — every trailing pad bit zero. Pad validation matters because
+// Key and TranscriptKey hash only the first Len bits: two messages that
+// differ solely in pad bits would collide as transcript keys while carrying
+// different bytes, so the board refuses the ambiguity at the door.
 func (b *Board) Append(m Message) error {
 	if m.Player < 0 || m.Player >= b.numPlayers {
 		return fmt.Errorf("blackboard: message from invalid player %d", m.Player)
@@ -91,9 +96,27 @@ func (b *Board) Append(m Message) error {
 	if m.Len < 0 || m.Len > len(m.Bits)*8 {
 		return fmt.Errorf("blackboard: message length %d exceeds payload of %d bits", m.Len, len(m.Bits)*8)
 	}
+	if err := checkPadBits(m.Bits, m.Len); err != nil {
+		return err
+	}
 	b.msgs = append(b.msgs, m)
 	b.totalBits += m.Len
 	b.perPlayer[m.Player] += m.Len
+	return nil
+}
+
+// checkPadBits verifies that every bit of bits beyond the first n is zero.
+func checkPadBits(bits []byte, n int) error {
+	if n%8 != 0 {
+		if pad := bits[n/8] & (0xff >> uint(n%8)); pad != 0 {
+			return fmt.Errorf("blackboard: message has nonzero pad bits in final byte (len %d)", n)
+		}
+	}
+	for i := (n + 7) / 8; i < len(bits); i++ {
+		if bits[i] != 0 {
+			return fmt.Errorf("blackboard: message has nonzero bytes beyond its %d-bit payload", n)
+		}
+	}
 	return nil
 }
 
@@ -142,7 +165,10 @@ type Scheduler interface {
 }
 
 // Limits guards against runaway protocols during development and failure
-// injection. Zero fields mean "no limit".
+// injection. Zero fields mean "no limit". Limits are enforced *before* a
+// message is appended: an execution that would exceed a limit fails with
+// the offending message rejected, so the board never holds more than
+// MaxMessages messages or MaxBits bits.
 type Limits struct {
 	MaxMessages int
 	MaxBits     int
@@ -161,38 +187,28 @@ type Result struct {
 
 // Run executes a protocol: it repeatedly asks the scheduler for the next
 // speaker and appends that player's message until the scheduler reports
-// completion. The returned Result owns the final board.
+// completion. The returned Result owns the final board. Limits are checked
+// before each append (see Limits); an execution that would exceed one fails
+// without the oversized message on the board.
 func Run(sched Scheduler, players []Player, public *rng.Source, lim Limits) (*Result, error) {
-	board, err := NewBoard(len(players), public)
+	st, err := NewStepper(sched, len(players), public, lim)
 	if err != nil {
 		return nil, err
 	}
 	for {
-		speaker, done, err := sched.Next(board)
+		speaker, done, err := st.Next()
 		if err != nil {
-			return nil, fmt.Errorf("blackboard: scheduler: %w", err)
+			return nil, err
 		}
 		if done {
-			return &Result{Board: board}, nil
+			return &Result{Board: st.Board()}, nil
 		}
-		if speaker < 0 || speaker >= len(players) {
-			return nil, fmt.Errorf("blackboard: scheduler chose invalid player %d", speaker)
-		}
-		msg, err := players[speaker].Speak(board)
+		msg, err := players[speaker].Speak(st.Board())
 		if err != nil {
 			return nil, fmt.Errorf("blackboard: player %d: %w", speaker, err)
 		}
-		if msg.Player != speaker {
-			return nil, fmt.Errorf("blackboard: player %d produced message attributed to %d", speaker, msg.Player)
-		}
-		if err := board.Append(msg); err != nil {
+		if err := st.Deliver(msg); err != nil {
 			return nil, err
-		}
-		if lim.MaxMessages > 0 && board.NumMessages() > lim.MaxMessages {
-			return nil, fmt.Errorf("%w: %d messages", ErrMessageLimit, board.NumMessages())
-		}
-		if lim.MaxBits > 0 && board.TotalBits() > lim.MaxBits {
-			return nil, fmt.Errorf("%w: %d bits", ErrBitLimit, board.TotalBits())
 		}
 	}
 }

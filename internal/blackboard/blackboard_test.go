@@ -253,4 +253,216 @@ func TestRoundRobinValidation(t *testing.T) {
 	if _, _, err := r.Next(&Board{numPlayers: 1, perPlayer: make([]int, 1)}); err == nil {
 		t.Fatal("round-robin over zero players succeeded")
 	}
+	if _, _, err := (&RoundRobin{K: -4}).Next(&Board{numPlayers: 1, perPlayer: make([]int, 1)}); err == nil {
+		t.Fatal("round-robin over negative players succeeded")
+	}
+	// A non-positive K must also surface through Run, not just direct Next.
+	_, players := echoSetup(2)
+	if _, err := Run(&RoundRobin{K: 0}, players, nil, Limits{}); err == nil {
+		t.Fatal("Run with K=0 round-robin succeeded")
+	}
+}
+
+func TestRoundRobinStopError(t *testing.T) {
+	wantErr := errors.New("stop blew up")
+	r := &RoundRobin{K: 2, Stop: func(b *Board) (bool, error) { return false, wantErr }}
+	b, _ := NewBoard(2, nil)
+	if _, _, err := r.Next(b); !errors.Is(err, wantErr) {
+		t.Fatalf("Next err = %v, want wrapped stop error", err)
+	}
+	_, players := echoSetup(2)
+	if _, err := Run(r, players, nil, Limits{}); !errors.Is(err, wantErr) {
+		t.Fatalf("Run err = %v, want wrapped stop error", err)
+	}
+}
+
+func TestPlayerBitsOutOfRange(t *testing.T) {
+	b, err := NewBoard(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(bitMessage(t, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, player := range []int{-1, -100, 2, 3, 1 << 20} {
+		if got := b.PlayerBits(player); got != 0 {
+			t.Fatalf("PlayerBits(%d) = %d, want 0", player, got)
+		}
+	}
+	if b.PlayerBits(0) != 1 {
+		t.Fatalf("PlayerBits(0) = %d, want 1", b.PlayerBits(0))
+	}
+}
+
+// Regression: Append must reject messages whose trailing pad bits are
+// nonzero — Key/TranscriptKey hash only the first Len bits, so such
+// messages would alias a well-formed message's transcript key while
+// carrying different bytes.
+func TestAppendRejectsNonzeroPadBits(t *testing.T) {
+	b, _ := NewBoard(2, nil)
+	bad := []Message{
+		{Player: 0, Bits: []byte{0b10100001}, Len: 3},       // pad bits inside final byte
+		{Player: 0, Bits: []byte{0b10100000, 0xff}, Len: 3}, // nonzero byte past payload
+		{Player: 0, Bits: []byte{0x01}, Len: 0},             // zero-length with payload bits
+	}
+	for i, m := range bad {
+		if err := b.Append(m); err == nil {
+			t.Fatalf("case %d: message with nonzero pad bits accepted", i)
+		}
+	}
+	if b.NumMessages() != 0 {
+		t.Fatalf("rejected messages landed on the board: %d", b.NumMessages())
+	}
+	ok := []Message{
+		{Player: 0, Bits: []byte{0b10100000}, Len: 3},
+		{Player: 1, Bits: []byte{0b10100000, 0x00}, Len: 3}, // explicit zero padding byte is fine
+		{Player: 0, Bits: nil, Len: 0},
+	}
+	for i, m := range ok {
+		if err := b.Append(m); err != nil {
+			t.Fatalf("case %d: well-formed message rejected: %v", i, err)
+		}
+	}
+}
+
+// Regression: limits are enforced before the append, so the oversized
+// message must not land on the board when Run fails with a limit error.
+func TestLimitsRejectBeforeAppend(t *testing.T) {
+	sched := &RoundRobin{K: 2, Stop: func(*Board) (bool, error) { return false, nil }}
+	_, players := echoSetup(2)
+
+	st, err := NewStepper(sched, 2, nil, Limits{MaxMessages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		speaker, done, err := st.Next()
+		if err != nil || done {
+			t.Fatalf("step %d: speaker err=%v done=%v", i, err, done)
+		}
+		m, err := players[speaker].Speak(st.Board())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Deliver(m); err != nil {
+			t.Fatalf("message %d rejected below the limit: %v", i, err)
+		}
+	}
+	speaker, _, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := players[speaker].Speak(st.Board())
+	if err := st.Deliver(m); !errors.Is(err, ErrMessageLimit) {
+		t.Fatalf("4th delivery err = %v, want ErrMessageLimit", err)
+	}
+	if st.Board().NumMessages() != 3 {
+		t.Fatalf("board holds %d messages after rejected delivery, want 3", st.Board().NumMessages())
+	}
+
+	stBits, err := NewStepper(sched, 2, nil, Limits{MaxBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		speaker, _, err := stBits.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := players[speaker].Speak(stBits.Board())
+		if err := stBits.Deliver(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	speaker, _, err = stBits.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ = players[speaker].Speak(stBits.Board())
+	if err := stBits.Deliver(m); !errors.Is(err, ErrBitLimit) {
+		t.Fatalf("over-budget delivery err = %v, want ErrBitLimit", err)
+	}
+	if stBits.Board().TotalBits() != 2 {
+		t.Fatalf("board holds %d bits after rejected delivery, want 2", stBits.Board().TotalBits())
+	}
+}
+
+func TestStepperDrivesRoundRobin(t *testing.T) {
+	const k = 3
+	sched, players := echoSetup(k)
+	st, err := NewStepper(sched, k, nil, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		speaker, done, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		m, err := players[speaker].Speak(st.Board())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Deliver(m); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != k || st.Board().NumMessages() != k {
+		t.Fatalf("stepper ran %d steps, board has %d messages, want %d", steps, st.Board().NumMessages(), k)
+	}
+	if !st.Done() {
+		t.Fatal("stepper not done after halt")
+	}
+	// Next after done keeps reporting done.
+	if _, done, err := st.Next(); err != nil || !done {
+		t.Fatalf("Next after done: done=%v err=%v", done, err)
+	}
+	// The stepper's board must match a Run of the same protocol.
+	sched2, players2 := echoSetup(k)
+	res, err := Run(sched2, players2, nil, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Board().TranscriptKey() != res.Board.TranscriptKey() {
+		t.Fatal("stepper and Run transcripts differ")
+	}
+}
+
+func TestStepperDiscipline(t *testing.T) {
+	sched, players := echoSetup(2)
+	st, err := NewStepper(sched, 2, nil, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deliver(bitMessage(t, 0, 0)); err == nil {
+		t.Fatal("Deliver with no pending turn succeeded")
+	}
+	speaker, _, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Next(); err == nil {
+		t.Fatal("Next with a pending delivery succeeded")
+	}
+	if err := st.Deliver(bitMessage(t, speaker+1, 0)); err == nil {
+		t.Fatal("misattributed delivery accepted")
+	}
+	m, err := players[speaker].Speak(st.Board())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deliver(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepper(nil, 2, nil, Limits{}); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewStepper(sched, 0, nil, Limits{}); err == nil {
+		t.Fatal("zero players accepted")
+	}
 }

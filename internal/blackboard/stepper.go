@@ -1,0 +1,95 @@
+package blackboard
+
+import (
+	"fmt"
+
+	"broadcastic/internal/rng"
+)
+
+// Stepper exposes the execution loop of Run one step at a time, so that
+// alternative runtimes (internal/netrun's concurrent networked runtime, or
+// any future driver) can run the same state machine while doing their own
+// work — transporting messages over a wire, injecting faults, collecting
+// telemetry — between the two halves of a step.
+//
+// A step is: Next() to learn the next speaker (or that the protocol is
+// done), obtain that player's message by whatever means the driver uses,
+// then Deliver(msg) to validate and append it. Next and Deliver must
+// alternate; the Stepper enforces the discipline. A Stepper is not safe for
+// concurrent use — drivers serialize access themselves.
+type Stepper struct {
+	board *Board
+	sched Scheduler
+	lim   Limits
+
+	// expect is the speaker announced by the last Next, or -1 when no
+	// delivery is pending.
+	expect int
+	done   bool
+}
+
+// NewStepper builds a stepper over a fresh board for numPlayers players.
+func NewStepper(sched Scheduler, numPlayers int, public *rng.Source, lim Limits) (*Stepper, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("blackboard: nil scheduler")
+	}
+	board, err := NewBoard(numPlayers, public)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{board: board, sched: sched, lim: lim, expect: -1}, nil
+}
+
+// Board returns the board under execution.
+func (st *Stepper) Board() *Board { return st.board }
+
+// Done reports whether the scheduler has halted the protocol.
+func (st *Stepper) Done() bool { return st.done }
+
+// Next consults the scheduler: it returns the next speaker, or done=true
+// when the protocol halts. After a Next that names a speaker, the driver
+// must Deliver that player's message before calling Next again.
+func (st *Stepper) Next() (speaker int, done bool, err error) {
+	if st.done {
+		return 0, true, nil
+	}
+	if st.expect >= 0 {
+		return 0, false, fmt.Errorf("blackboard: Next called with a delivery pending for player %d", st.expect)
+	}
+	speaker, done, err = st.sched.Next(st.board)
+	if err != nil {
+		return 0, false, fmt.Errorf("blackboard: scheduler: %w", err)
+	}
+	if done {
+		st.done = true
+		return 0, true, nil
+	}
+	if speaker < 0 || speaker >= st.board.NumPlayers() {
+		return 0, false, fmt.Errorf("blackboard: scheduler chose invalid player %d", speaker)
+	}
+	st.expect = speaker
+	return speaker, false, nil
+}
+
+// Deliver validates the announced speaker's message against the pending
+// turn and the limits, then appends it. Limit checks happen before the
+// append: a rejected message never lands on the board (see Limits).
+func (st *Stepper) Deliver(m Message) error {
+	if st.expect < 0 {
+		return fmt.Errorf("blackboard: Deliver called with no turn pending")
+	}
+	if m.Player != st.expect {
+		return fmt.Errorf("blackboard: player %d produced message attributed to %d", st.expect, m.Player)
+	}
+	if st.lim.MaxMessages > 0 && st.board.NumMessages()+1 > st.lim.MaxMessages {
+		return fmt.Errorf("%w: message %d", ErrMessageLimit, st.board.NumMessages()+1)
+	}
+	if st.lim.MaxBits > 0 && m.Len >= 0 && st.board.TotalBits()+m.Len > st.lim.MaxBits {
+		return fmt.Errorf("%w: %d bits", ErrBitLimit, st.board.TotalBits()+m.Len)
+	}
+	if err := st.board.Append(m); err != nil {
+		return err
+	}
+	st.expect = -1
+	return nil
+}

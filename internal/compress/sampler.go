@@ -46,6 +46,10 @@ type TransmitResult struct {
 	BlockIndex     int
 	LogRatio       int
 	CandidateCount int
+	// Payload is the encoded message itself — exactly Bits bits, packed
+	// MSB-first with zero padding. Set only by the explicit sampler
+	// (Transmit); the simulated product transmission has no concrete bits.
+	Payload []byte
 }
 
 // maxSearchPoints bounds the rejection search; the success probability per
@@ -154,6 +158,7 @@ func Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
 		BlockIndex:     blockIndex,
 		LogRatio:       s,
 		CandidateCount: candidates,
+		Payload:        w.Bytes(),
 	}, nil
 }
 

@@ -26,78 +26,125 @@ type BoardRun struct {
 	Output     int
 }
 
-// RunSpecOnBlackboard executes spec on the given inputs over the broadcast
-// runtime. private provides the players' randomness (may be nil for
-// deterministic specs).
-func RunSpecOnBlackboard(spec Spec, x []int, private *rng.Source) (*BoardRun, error) {
+// SpecProtocol is a Spec instantiated on concrete inputs as blackboard
+// scheduler and players, so any runtime that drives the blackboard state
+// machine — the sequential blackboard.Run or the concurrent
+// internal/netrun — can execute it.
+//
+// The scheduler and players share the decoded transcript through this
+// struct; a SpecProtocol is single-use (one execution) and not itself
+// concurrency-safe — concurrent runtimes serialize scheduler and player
+// calls (netrun holds its run mutex across both).
+type SpecProtocol struct {
+	spec    Spec
+	x       []int
+	private *rng.Source
+
+	// t is the decoded transcript: a pure function of the board (each
+	// message is one fixed-width symbol).
+	t Transcript
+}
+
+// NewSpecProtocol binds spec to the players' inputs. private provides the
+// players' randomness (may be nil for deterministic specs).
+func NewSpecProtocol(spec Spec, x []int, private *rng.Source) (*SpecProtocol, error) {
 	if len(x) != spec.NumPlayers() {
 		return nil, fmt.Errorf("core: input has %d entries, want %d", len(x), spec.NumPlayers())
 	}
+	return &SpecProtocol{spec: spec, x: x, private: private}, nil
+}
 
-	// Shared decoded transcript: a pure function of the board (each message
-	// is one fixed-width symbol).
-	var t Transcript
-
-	sched := blackboard.FuncScheduler(func(b *blackboard.Board) (int, bool, error) {
-		speaker, done, err := spec.NextSpeaker(t)
+// Scheduler returns the blackboard scheduler driving the spec.
+func (sp *SpecProtocol) Scheduler() blackboard.Scheduler {
+	return blackboard.FuncScheduler(func(b *blackboard.Board) (int, bool, error) {
+		speaker, done, err := sp.spec.NextSpeaker(sp.t)
 		if err != nil {
 			return 0, false, err
 		}
 		return speaker, done, nil
 	})
+}
 
-	players := make([]blackboard.Player, spec.NumPlayers())
+// Players returns the blackboard players, one per input entry.
+func (sp *SpecProtocol) Players() []blackboard.Player {
+	players := make([]blackboard.Player, sp.spec.NumPlayers())
 	for i := range players {
 		i := i
 		players[i] = blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
-			alphabet, err := spec.MessageAlphabet(t)
-			if err != nil {
-				return blackboard.Message{}, err
-			}
-			if alphabet < 1 {
-				return blackboard.Message{}, fmt.Errorf("core: non-positive alphabet %d", alphabet)
-			}
-			dist, err := spec.MessageDist(t, i, x[i])
-			if err != nil {
-				return blackboard.Message{}, err
-			}
-			var sym int
-			if private != nil {
-				sym = dist.Sample(private)
-			} else {
-				// Deterministic specs have a point-mass message.
-				support := dist.Support()
-				if len(support) != 1 {
-					return blackboard.Message{}, fmt.Errorf("core: randomized spec needs a private randomness source")
-				}
-				sym = support[0]
-			}
-			width := encoding.FixedWidth(uint64(alphabet))
-			declared, err := spec.MessageBits(t, sym)
-			if err != nil {
-				return blackboard.Message{}, err
-			}
-			if declared != width {
-				return blackboard.Message{}, fmt.Errorf(
-					"core: spec charges %d bits for symbol %d but the fixed-width encoding needs %d",
-					declared, sym, width)
-			}
-			var w encoding.BitWriter
-			if err := w.WriteBits(uint64(sym), width); err != nil {
-				return blackboard.Message{}, err
-			}
-			t = append(t, sym)
-			return blackboard.NewMessage(i, &w), nil
+			return sp.speak(i)
 		})
 	}
+	return players
+}
 
-	res, err := blackboard.Run(sched, players, nil, blackboard.Limits{MaxMessages: defaultMaxDepth})
+// Limits returns the execution bound the sequential runtime uses.
+func (sp *SpecProtocol) Limits() blackboard.Limits {
+	return blackboard.Limits{MaxMessages: defaultMaxDepth}
+}
+
+// Transcript returns the symbols decoded so far.
+func (sp *SpecProtocol) Transcript() Transcript { return sp.t }
+
+// Output evaluates the spec's output on the transcript accumulated by the
+// execution.
+func (sp *SpecProtocol) Output() (int, error) { return sp.spec.Output(sp.t) }
+
+func (sp *SpecProtocol) speak(i int) (blackboard.Message, error) {
+	alphabet, err := sp.spec.MessageAlphabet(sp.t)
 	if err != nil {
-		return nil, fmt.Errorf("core: spec on blackboard: %w", err)
+		return blackboard.Message{}, err
 	}
-	out, err := spec.Output(t)
+	if alphabet < 1 {
+		return blackboard.Message{}, fmt.Errorf("core: non-positive alphabet %d", alphabet)
+	}
+	dist, err := sp.spec.MessageDist(sp.t, i, sp.x[i])
+	if err != nil {
+		return blackboard.Message{}, err
+	}
+	var sym int
+	if sp.private != nil {
+		sym = dist.Sample(sp.private)
+	} else {
+		// Deterministic specs have a point-mass message.
+		support := dist.Support()
+		if len(support) != 1 {
+			return blackboard.Message{}, fmt.Errorf("core: randomized spec needs a private randomness source")
+		}
+		sym = support[0]
+	}
+	width := encoding.FixedWidth(uint64(alphabet))
+	declared, err := sp.spec.MessageBits(sp.t, sym)
+	if err != nil {
+		return blackboard.Message{}, err
+	}
+	if declared != width {
+		return blackboard.Message{}, fmt.Errorf(
+			"core: spec charges %d bits for symbol %d but the fixed-width encoding needs %d",
+			declared, sym, width)
+	}
+	var w encoding.BitWriter
+	if err := w.WriteBits(uint64(sym), width); err != nil {
+		return blackboard.Message{}, err
+	}
+	sp.t = append(sp.t, sym)
+	return blackboard.NewMessage(i, &w), nil
+}
+
+// RunSpecOnBlackboard executes spec on the given inputs over the broadcast
+// runtime. private provides the players' randomness (may be nil for
+// deterministic specs).
+func RunSpecOnBlackboard(spec Spec, x []int, private *rng.Source) (*BoardRun, error) {
+	sp, err := NewSpecProtocol(spec, x, private)
 	if err != nil {
 		return nil, err
 	}
-	return &BoardRun{Board: res.Board, Transcript: t, Output: out}, nil
+	res, err := blackboard.Run(sp.Scheduler(), sp.Players(), nil, sp.Limits())
+	if err != nil {
+		return nil, fmt.Errorf("core: spec on blackboard: %w", err)
+	}
+	out, err := sp.Output()
+	if err != nil {
+		return nil, err
+	}
+	return &BoardRun{Board: res.Board, Transcript: sp.Transcript(), Output: out}, nil
 }

@@ -82,15 +82,39 @@ func SolveOptimalMessages(inst *Instance, opts Options) (*Outcome, []int, error)
 	return out, sizes, nil
 }
 
-func solveOptimal(inst *Instance, opts Options) (*Outcome, *optimalRun, error) {
+// OptimalProtocol is the Section 5 protocol in blackboard form — a
+// scheduler, players and limits any runtime can drive (the sequential
+// blackboard.Run or the concurrent internal/netrun). The scheduler and
+// players share the run state through this struct; a protocol instance is
+// single-use and not itself concurrency-safe — concurrent runtimes
+// serialize scheduler and player calls.
+type OptimalProtocol struct {
+	run     *optimalRun
+	players []blackboard.Player
+}
+
+// NewOptimalProtocol instantiates the protocol on one instance.
+func NewOptimalProtocol(inst *Instance, opts Options) (*OptimalProtocol, error) {
 	if inst == nil {
-		return nil, nil, fmt.Errorf("disj: nil instance")
+		return nil, fmt.Errorf("disj: nil instance")
 	}
 	p := newOptimalRun(inst, opts)
 	players := make([]blackboard.Player, inst.K)
 	for i := 0; i < inst.K; i++ {
 		players[i] = &optimalPlayer{run: p, id: i}
 	}
+	return &OptimalProtocol{run: p, players: players}, nil
+}
+
+// Scheduler returns the protocol's blackboard scheduler.
+func (op *OptimalProtocol) Scheduler() blackboard.Scheduler { return op.run }
+
+// Players returns the k blackboard players.
+func (op *OptimalProtocol) Players() []blackboard.Player { return op.players }
+
+// Limits bounds the execution length.
+func (op *OptimalProtocol) Limits() blackboard.Limits {
+	inst, opts := op.run.inst, op.run.opts
 	limits := blackboard.Limits{
 		// Generous: phase 1 has at most k·ln n cycles of k messages.
 		MaxMessages: inst.K*(64+logCeil(inst.N)*inst.K) + inst.K + 64,
@@ -100,18 +124,36 @@ func solveOptimal(inst *Instance, opts Options) (*Outcome, *optimalRun, error) {
 		// cycles of k messages each.
 		limits.MaxMessages += inst.K * inst.K * inst.K
 	}
-	res, err := blackboard.Run(p, players, nil, limits)
+	return limits
+}
+
+// Outcome reads the protocol's answer off a completed execution whose
+// transcript lives on b.
+func (op *OptimalProtocol) Outcome(b *blackboard.Board) (*Outcome, error) {
+	if !op.run.answered {
+		return nil, fmt.Errorf("disj: optimal protocol halted without an answer")
+	}
+	return &Outcome{
+		Disjoint: op.run.disjoint,
+		Bits:     b.TotalBits(),
+		Messages: b.NumMessages(),
+	}, nil
+}
+
+func solveOptimal(inst *Instance, opts Options) (*Outcome, *optimalRun, error) {
+	op, err := NewOptimalProtocol(inst, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := blackboard.Run(op.Scheduler(), op.Players(), nil, op.Limits())
 	if err != nil {
 		return nil, nil, fmt.Errorf("disj: optimal protocol: %w", err)
 	}
-	if !p.answered {
-		return nil, nil, fmt.Errorf("disj: optimal protocol halted without an answer")
+	out, err := op.Outcome(res.Board)
+	if err != nil {
+		return nil, nil, err
 	}
-	return &Outcome{
-		Disjoint: p.disjoint,
-		Bits:     res.Board.TotalBits(),
-		Messages: res.Board.NumMessages(),
-	}, p, nil
+	return out, op.run, nil
 }
 
 func logCeil(n int) int { return encoding.FixedWidth(uint64(n)) + 1 }

@@ -1,0 +1,486 @@
+package netrun_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/blackboard"
+	"broadcastic/internal/compress"
+	"broadcastic/internal/disj"
+	"broadcastic/internal/faults"
+	"broadcastic/internal/netrun"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+// boardProtocol is the shape every protocol adapter in this repository
+// exposes; conformance tests run fresh instances of one through both
+// runtimes and compare transcripts bit for bit.
+type boardProtocol interface {
+	Scheduler() blackboard.Scheduler
+	Players() []blackboard.Player
+	Limits() blackboard.Limits
+}
+
+// seqFingerprint runs the protocol on the sequential runtime.
+func seqFingerprint(t *testing.T, p boardProtocol, public *rng.Source) *blackboard.Board {
+	t.Helper()
+	res, err := blackboard.Run(p.Scheduler(), p.Players(), public, p.Limits())
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	return res.Board
+}
+
+// netFingerprint runs the protocol on the networked runtime.
+func netFingerprint(t *testing.T, p boardProtocol, public *rng.Source, cfg netrun.Config) *netrun.Result {
+	t.Helper()
+	cfg.Limits = p.Limits()
+	res, err := netrun.Run(p.Scheduler(), p.Players(), public, cfg)
+	if err != nil {
+		t.Fatalf("networked run (%s): %v", cfg.Transport.Name(), err)
+	}
+	return res
+}
+
+func requireSameBoard(t *testing.T, want, got *blackboard.Board) {
+	t.Helper()
+	if want.TranscriptKey() != got.TranscriptKey() {
+		t.Fatalf("transcripts differ:\nsequential %s\nnetworked  %s", want.TranscriptKey(), got.TranscriptKey())
+	}
+	if want.TotalBits() != got.TotalBits() || want.NumMessages() != got.NumMessages() {
+		t.Fatalf("accounting differs: %d bits/%d msgs vs %d bits/%d msgs",
+			want.TotalBits(), want.NumMessages(), got.TotalBits(), got.NumMessages())
+	}
+}
+
+func transports(t *testing.T) []netrun.Transport {
+	ts := []netrun.Transport{netrun.NewChanTransport(), netrun.NewPipeTransport()}
+	c, p, err := netrun.NewTCPTransport().Open(1)
+	if err != nil {
+		t.Logf("skipping tcp transport: %v", err)
+		return ts
+	}
+	c[0].Close()
+	p[0].Close()
+	return append(ts, netrun.NewTCPTransport())
+}
+
+var quickCfg = netrun.Config{Timeout: 100 * time.Millisecond, MaxRetries: 6}
+
+// With faults disabled, the networked runtime must reproduce the
+// sequential transcript bit for bit for the optimal DISJ protocol, on
+// every transport, for both answers.
+func TestConformanceDisjOptimal(t *testing.T) {
+	cases := []struct {
+		name string
+		inst func() *disj.Instance
+	}{
+		{"disjoint", func() *disj.Instance {
+			inst, err := disj.GenerateDisjoint(rng.New(101), 96, 4, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inst
+		}},
+		{"intersecting", func() *disj.Instance {
+			inst, err := disj.GenerateIntersecting(rng.New(202), 96, 4, 1, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inst
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := tc.inst()
+			refProto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBoard := seqFingerprint(t, refProto, nil)
+			refOut, err := refProto.Outcome(refBoard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := inst.Disjoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refOut.Disjoint != truth {
+				t.Fatalf("sequential answer %v, truth %v", refOut.Disjoint, truth)
+			}
+			for _, tr := range transports(t) {
+				t.Run(tr.Name(), func(t *testing.T) {
+					proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := quickCfg
+					cfg.Transport = tr
+					res := netFingerprint(t, proto, nil, cfg)
+					requireSameBoard(t, refBoard, res.Board)
+					out, err := proto.Outcome(res.Board)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if out.Disjoint != refOut.Disjoint || out.Bits != refOut.Bits {
+						t.Fatalf("outcome %+v, want %+v", out, refOut)
+					}
+					if res.Stats.BoardBits != refBoard.TotalBits() {
+						t.Fatalf("BoardBits %d, want %d", res.Stats.BoardBits, refBoard.TotalBits())
+					}
+					if res.Stats.WireBits <= int64(res.Stats.BoardBits) {
+						t.Fatalf("WireBits %d not above BoardBits %d", res.Stats.WireBits, res.Stats.BoardBits)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestConformanceAndK(t *testing.T) {
+	spec, err := andk.NewSequential(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		x    []int
+		want int
+	}{
+		{"all-ones", []int{1, 1, 1, 1, 1}, 1},
+		{"with-zero", []int{1, 1, 0, 1, 1}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refProto, err := spec.BoardProtocol(tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBoard := seqFingerprint(t, refProto, nil)
+			for _, tr := range transports(t) {
+				t.Run(tr.Name(), func(t *testing.T) {
+					proto, err := spec.BoardProtocol(tc.x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := quickCfg
+					cfg.Transport = tr
+					res := netFingerprint(t, proto, nil, cfg)
+					requireSameBoard(t, refBoard, res.Board)
+					out, err := proto.Output()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if out != tc.want {
+						t.Fatalf("output %d, want %d", out, tc.want)
+					}
+				})
+			}
+		})
+	}
+}
+
+// The Lemma 7 sampler consumes public randomness; identical seeds must
+// yield identical transmissions and transcripts on both runtimes.
+func TestConformanceSampler(t *testing.T) {
+	eta, err := prob.NewDist([]float64{0.5, 0.25, 0.125, 0.0625, 0.0625, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, err := prob.Uniform(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const publicSeed = 7
+	refProto := compress.NewSamplerProtocol(eta, nu)
+	refBoard := seqFingerprint(t, refProto, rng.New(publicSeed))
+	refRes := refProto.Result()
+	if refRes == nil {
+		t.Fatal("sequential run left no transmission result")
+	}
+	if refBoard.NumMessages() != 2 {
+		t.Fatalf("sampler board has %d messages", refBoard.NumMessages())
+	}
+	for _, tr := range transports(t) {
+		t.Run(tr.Name(), func(t *testing.T) {
+			proto := compress.NewSamplerProtocol(eta, nu)
+			cfg := quickCfg
+			cfg.Transport = tr
+			res := netFingerprint(t, proto, rng.New(publicSeed), cfg)
+			requireSameBoard(t, refBoard, res.Board)
+			got := proto.Result()
+			if got == nil || got.Value != refRes.Value || got.Bits != refRes.Bits {
+				t.Fatalf("transmission %+v, want %+v", got, refRes)
+			}
+		})
+	}
+}
+
+// Under every recoverable fault mix the protocol answer must stay correct
+// and the board transcript identical to the fault-free run: the delivery
+// layer repairs everything below the protocol.
+func TestFaultSweepDisjOptimal(t *testing.T) {
+	inst, err := disj.GenerateIntersecting(rng.New(303), 64, 4, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBoard := seqFingerprint(t, refProto, nil)
+
+	mixes := []string{
+		"drop=0.1",
+		"dup=0.15",
+		"corrupt=0.1",
+		"delay=0.3:2ms",
+		"drop=0.06,dup=0.06,corrupt=0.04,delay=0.2:1ms",
+	}
+	for _, mix := range mixes {
+		t.Run(mix, func(t *testing.T) {
+			plan, err := faults.Parse(mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := netrun.Config{
+				Faults:     plan,
+				Seed:       11,
+				Timeout:    40 * time.Millisecond,
+				MaxRetries: 10,
+			}
+			res := netFingerprint(t, proto, nil, cfg)
+			requireSameBoard(t, refBoard, res.Board)
+			out, err := proto.Outcome(res.Board)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Disjoint {
+				t.Fatal("answer flipped under faults")
+			}
+			if res.Stats.Faults.Total() == 0 {
+				t.Fatalf("fault mix %q injected nothing", mix)
+			}
+		})
+	}
+}
+
+// Identical seeds must reproduce the whole run: transcript, wire bits,
+// retries and fault tallies.
+func TestFaultReproducibility(t *testing.T) {
+	inst, err := disj.GenerateDisjoint(rng.New(404), 64, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Parse("drop=0.08,dup=0.08,corrupt=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *netrun.Result {
+		proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := netrun.Config{
+			Faults:     plan,
+			Seed:       99,
+			Timeout:    40 * time.Millisecond,
+			MaxRetries: 10,
+		}
+		return netFingerprint(t, proto, nil, cfg)
+	}
+	a, b := run(), run()
+	if a.Board.TranscriptKey() != b.Board.TranscriptKey() {
+		t.Fatal("transcripts differ across same-seed runs")
+	}
+	if a.Stats.WireBits != b.Stats.WireBits {
+		t.Fatalf("wire bits differ: %d vs %d", a.Stats.WireBits, b.Stats.WireBits)
+	}
+	if a.Stats.Faults != b.Stats.Faults {
+		t.Fatalf("fault tallies differ: %v vs %v", a.Stats.Faults, b.Stats.Faults)
+	}
+	for i := range a.Stats.PerPlayer {
+		if a.Stats.PerPlayer[i].Retries != b.Stats.PerPlayer[i].Retries {
+			t.Fatalf("player %d retries differ: %d vs %d", i, a.Stats.PerPlayer[i].Retries, b.Stats.PerPlayer[i].Retries)
+		}
+	}
+	// A different seed draws a different fault sequence (while the board
+	// transcript, being repaired below the protocol, stays identical).
+	proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := netFingerprint(t, proto, nil, netrun.Config{
+		Faults: plan, Seed: 100, Timeout: 40 * time.Millisecond, MaxRetries: 10,
+	})
+	if c.Board.TranscriptKey() != a.Board.TranscriptKey() {
+		t.Fatal("board transcript depends on the fault seed")
+	}
+	if c.Stats.Faults == a.Stats.Faults && c.Stats.WireBits == a.Stats.WireBits {
+		t.Fatal("different seeds produced identical fault statistics")
+	}
+}
+
+// testHooks records callbacks; methods are called from several goroutines.
+type testHooks struct {
+	mu      sync.Mutex
+	turns   int
+	faults  faults.Counts
+	crashed []int
+}
+
+func (h *testHooks) TurnCompleted(player int, latency time.Duration, retries int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.turns++
+}
+
+func (h *testHooks) FaultInjected(player int, kind faults.Kind) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch kind {
+	case faults.Drop:
+		h.faults.Drops++
+	case faults.Duplicate:
+		h.faults.Duplicates++
+	case faults.Corrupt:
+		h.faults.Corruptions++
+	case faults.Delay:
+		h.faults.Delays++
+	}
+}
+
+func (h *testHooks) PlayerCrashed(player int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed = append(h.crashed, player)
+}
+
+func TestHooksObserveRun(t *testing.T) {
+	inst, err := disj.GenerateDisjoint(rng.New(505), 48, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Parse("drop=0.05,dup=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &testHooks{}
+	cfg := netrun.Config{
+		Faults: plan, Seed: 5, Timeout: 40 * time.Millisecond, MaxRetries: 10,
+		Hooks: h, Limits: proto.Limits(),
+	}
+	res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.turns != res.Board.NumMessages() {
+		t.Fatalf("TurnCompleted fired %d times for %d messages", h.turns, res.Board.NumMessages())
+	}
+	if h.faults != res.Stats.Faults {
+		t.Fatalf("hook tally %v, stats %v", h.faults, res.Stats.Faults)
+	}
+	if len(h.crashed) != 0 {
+		t.Fatalf("spurious crash callbacks: %v", h.crashed)
+	}
+}
+
+// A crashed player must surface as a typed error with the partial
+// transcript preserved.
+func TestPlayerCrash(t *testing.T) {
+	const k = 3
+	// A trivial round-robin protocol: every player writes one "1" bit,
+	// three full rounds.
+	newProto := func() (blackboard.Scheduler, []blackboard.Player) {
+		sched := &blackboard.RoundRobin{K: k, Stop: func(b *blackboard.Board) (bool, error) {
+			return b.NumMessages() >= 3*k, nil
+		}}
+		players := make([]blackboard.Player, k)
+		for i := range players {
+			i := i
+			players[i] = blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
+				return blackboard.Message{Player: i, Bits: []byte{0x80}, Len: 1}, nil
+			})
+		}
+		return sched, players
+	}
+
+	sched, players := newProto()
+	h := &testHooks{}
+	cfg := netrun.Config{
+		Faults:  faults.Plan{CrashTurns: map[int]int{1: 1}},
+		Timeout: 30 * time.Millisecond, MaxRetries: 2,
+		Hooks: h,
+	}
+	res, err := netrun.Run(sched, players, nil, cfg)
+	if !errors.Is(err, netrun.ErrPlayerCrashed) {
+		t.Fatalf("err = %v, want ErrPlayerCrashed", err)
+	}
+	var ce *netrun.CrashError
+	if !errors.As(err, &ce) || ce.Player != 1 {
+		t.Fatalf("crash error = %+v", err)
+	}
+	if res == nil {
+		t.Fatal("crash returned no partial result")
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 1 {
+		t.Fatalf("Crashed = %v, want [1]", res.Crashed)
+	}
+	// Player 1 crashes on its second turn: messages 0..3 land (p0 p1 p2 p0),
+	// the fifth (p1 again) never arrives.
+	if res.Board.NumMessages() != 4 {
+		t.Fatalf("partial board has %d messages, want 4", res.Board.NumMessages())
+	}
+	if len(h.crashed) != 1 || h.crashed[0] != 1 {
+		t.Fatalf("PlayerCrashed hook saw %v", h.crashed)
+	}
+
+	// Without the crash the same protocol completes.
+	sched, players = newProto()
+	res, err = netrun.Run(sched, players, nil, netrun.Config{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Board.NumMessages() != 3*k {
+		t.Fatalf("clean run has %d messages, want %d", res.Board.NumMessages(), 3*k)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sched := &blackboard.RoundRobin{K: 1, Stop: func(b *blackboard.Board) (bool, error) { return true, nil }}
+	player := blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
+		return blackboard.Message{Player: 0}, nil
+	})
+	if _, err := netrun.Run(sched, nil, nil, netrun.Config{}); err == nil {
+		t.Fatal("no players accepted")
+	}
+	if _, err := netrun.Run(sched, []blackboard.Player{nil}, nil, netrun.Config{}); err == nil {
+		t.Fatal("nil player accepted")
+	}
+	if _, err := netrun.Run(sched, []blackboard.Player{player}, nil, netrun.Config{
+		Faults: faults.Plan{Drop: 2},
+	}); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+	if _, err := netrun.Run(sched, []blackboard.Player{player}, nil, netrun.Config{
+		Faults: faults.Plan{CrashTurns: map[int]int{5: 0}},
+	}); err == nil {
+		t.Fatal("crash for out-of-range player accepted")
+	}
+	// The zero config must work end to end.
+	if _, err := netrun.Run(sched, []blackboard.Player{player}, nil, netrun.Config{}); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+}

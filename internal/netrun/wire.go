@@ -1,0 +1,406 @@
+package netrun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"broadcastic/internal/blackboard"
+	"broadcastic/internal/faults"
+)
+
+// Frame kinds. A frame is the unit the delivery layer retransmits; the
+// coordinator and players exchange exactly one kind per protocol event.
+const (
+	frameSync byte = iota + 1 // coordinator -> player: board append to mirror
+	frameTurn                 // coordinator -> player: your turn to speak
+	frameMsg                  // player -> coordinator: the spoken message
+	frameErr                  // player -> coordinator: player-side failure
+	frameAck                  // either direction: delivery acknowledgement
+	frameNack                 // either direction: corrupted frame received, retransmit now
+)
+
+// packFrame lays out [kind 1B][seq 4B BE][crc32 4B BE][payload]. The
+// checksum covers kind, seq and payload (with the crc field zeroed), so a
+// flipped bit anywhere in the frame is detected and the frame discarded —
+// which the retransmission layer then repairs like a drop.
+func packFrame(kind byte, seq uint32, payload []byte) []byte {
+	f := make([]byte, 9+len(payload))
+	f[0] = kind
+	binary.BigEndian.PutUint32(f[1:5], seq)
+	copy(f[9:], payload)
+	binary.BigEndian.PutUint32(f[5:9], crcOf(f))
+	return f
+}
+
+// crcOf computes the frame checksum with the crc field treated as zero.
+func crcOf(f []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(f[:5])
+	crc.Write([]byte{0, 0, 0, 0})
+	crc.Write(f[9:])
+	return crc.Sum32()
+}
+
+// parseFrame validates the layout and checksum; ok=false means the frame
+// is malformed or corrupted and must be ignored.
+func parseFrame(f []byte) (kind byte, seq uint32, payload []byte, ok bool) {
+	if len(f) < 9 {
+		return 0, 0, nil, false
+	}
+	if binary.BigEndian.Uint32(f[5:9]) != crcOf(f) {
+		return 0, 0, nil, false
+	}
+	kind = f[0]
+	if kind < frameSync || kind > frameNack {
+		return 0, 0, nil, false
+	}
+	return kind, binary.BigEndian.Uint32(f[1:5]), f[9:], true
+}
+
+// encodeMessagePayload serializes a board message: uvarint player, uvarint
+// bit length, then exactly the packed payload bytes. The encoding is
+// lossless in both content and length, so replica boards append the same
+// bits the coordinator's canonical board sees.
+func encodeMessagePayload(m blackboard.Message) []byte {
+	buf := binary.AppendUvarint(nil, uint64(m.Player))
+	buf = binary.AppendUvarint(buf, uint64(m.Len))
+	return append(buf, m.Bits[:(m.Len+7)/8]...)
+}
+
+// decodeMessagePayload inverts encodeMessagePayload.
+func decodeMessagePayload(payload []byte) (blackboard.Message, error) {
+	player, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return blackboard.Message{}, errors.New("netrun: message payload missing player")
+	}
+	payload = payload[n:]
+	bitLen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return blackboard.Message{}, errors.New("netrun: message payload missing bit length")
+	}
+	payload = payload[n:]
+	want := (int(bitLen) + 7) / 8
+	if len(payload) != want {
+		return blackboard.Message{}, fmt.Errorf("netrun: message payload has %d bytes for %d bits", len(payload), bitLen)
+	}
+	bits := make([]byte, want)
+	copy(bits, payload)
+	return blackboard.Message{Player: int(player), Bits: bits, Len: int(bitLen)}, nil
+}
+
+// encodeTurnPayload carries the board's message count at the moment of the
+// turn, letting the player verify its replica is in sync before speaking.
+func encodeTurnPayload(numMessages int) []byte {
+	return binary.AppendUvarint(nil, uint64(numMessages))
+}
+
+func decodeTurnPayload(payload []byte) (int, error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, errors.New("netrun: malformed turn payload")
+	}
+	return int(v), nil
+}
+
+// ErrDelivery wraps a frame that exhausted its retransmission budget.
+var ErrDelivery = errors.New("netrun: delivery failed")
+
+// inbound is one application frame surfaced by the delivery layer.
+type inbound struct {
+	kind    byte
+	payload []byte
+}
+
+// endpointStats are the per-link telemetry counters. Updated atomically:
+// the read loop and the sending goroutine touch them concurrently.
+type endpointStats struct {
+	wireBits   atomic.Int64 // bits put on (or dropped onto) the wire, both directions
+	retries    atomic.Int64 // retransmission attempts beyond the first send
+	badFrames  atomic.Int64 // frames discarded for checksum/layout failure
+	dupDropped atomic.Int64 // duplicate data frames discarded by seq check
+}
+
+// endpoint layers reliable, ordered, at-most-once delivery of application
+// frames over an unreliable Link: a stop-and-wait ARQ with sequence
+// numbers, CRC checksums, per-attempt timeouts with exponential backoff,
+// and a bounded retry budget.
+//
+// Retransmissions have three triggers, fastest first:
+//
+//   - An injected drop is known to the sending side (the injector decided
+//     it), so the sender retransmits immediately — the medium ate the
+//     frame, there is nothing to wait for. This keeps fault sweeps paced
+//     by the fault model, not the wall clock.
+//   - A corrupted frame fails its CRC at the receiver, which answers with
+//     a NACK; the sender retransmits on receipt. The receiver suppresses
+//     further NACKs until a good data frame arrives, so one repair round
+//     triggers exactly one retransmission.
+//   - The per-attempt timeout (doubling per retry, capped at 8x) is the
+//     backstop for losses neither side can observe — real link failures,
+//     or an injected corruption of the retransmission itself.
+//
+// Faults are applied on the send side of data frames only. Acks and nacks
+// bypass the injector by design: they carry no protocol content (board
+// bits are accounted from data frames alone), and keeping them
+// fault-immune makes the retransmission sequence — and therefore every
+// wire-level counter — a pure function of the seed. Duplicate data frames
+// are discarded silently (no re-ack): with reliable acks, a duplicate can
+// only be an injected Duplicate decision, never evidence of a lost ack.
+//
+// Exactly one goroutine calls send and one goroutine (the owner of recv)
+// consumes inbound frames; the internal read loop is the only reader of
+// the raw link.
+type endpoint struct {
+	raw        Link
+	inj        *faults.Injector // nil when link faults are disabled
+	timeout    time.Duration
+	maxRetries int
+	notify     func(faults.Kind) // optional fault hook, may be nil
+
+	writeMu sync.Mutex // serializes raw.Send between data path and control path
+	sendSeq uint32     // owned by the sending goroutine
+	recvSeq uint32     // owned by the read loop
+
+	// nackPending suppresses repeat nacks until a good data frame arrives;
+	// owned by the read loop.
+	nackPending bool
+
+	dataCh chan inbound
+	ackCh  chan uint32
+	nackCh chan struct{}
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	stats endpointStats
+}
+
+func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, notify func(faults.Kind)) *endpoint {
+	ep := &endpoint{
+		raw:        raw,
+		inj:        inj,
+		timeout:    timeout,
+		maxRetries: maxRetries,
+		notify:     notify,
+		dataCh:     make(chan inbound, 256),
+		ackCh:      make(chan uint32, 64),
+		nackCh:     make(chan struct{}, 64),
+		closed:     make(chan struct{}),
+	}
+	go ep.readLoop()
+	return ep
+}
+
+// close severs the endpoint; pending sends and recvs unblock with errors.
+func (ep *endpoint) close() {
+	ep.closeOnce.Do(func() {
+		close(ep.closed)
+		ep.raw.Close()
+	})
+}
+
+// readLoop is the sole reader of the raw link. It acks and forwards new
+// data frames, nacks corrupted ones, discards duplicates, and routes acks
+// and nacks to the sender.
+func (ep *endpoint) readLoop() {
+	for {
+		frame, err := ep.raw.Recv()
+		if err != nil {
+			ep.close()
+			return
+		}
+		kind, seq, payload, ok := parseFrame(frame)
+		if !ok {
+			ep.stats.badFrames.Add(1)
+			if !ep.nackPending {
+				ep.nackPending = true
+				ep.sendControl(frameNack, ep.recvSeq)
+			}
+			continue
+		}
+		switch kind {
+		case frameAck:
+			select {
+			case ep.ackCh <- seq:
+			default:
+				// The sender is not waiting (stale ack from a duplicated
+				// frame); drop it.
+			}
+			continue
+		case frameNack:
+			select {
+			case ep.nackCh <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		ep.nackPending = false
+		if seq <= ep.recvSeq {
+			ep.stats.dupDropped.Add(1)
+			continue
+		}
+		// Stop-and-wait: in-order delivery means the only acceptable new
+		// frame is recvSeq+1.
+		ep.recvSeq = seq
+		ep.sendControl(frameAck, seq)
+		// Copy the payload out of the frame so the consumer owns its bytes.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		select {
+		case ep.dataCh <- inbound{kind: kind, payload: p}:
+		case <-ep.closed:
+			return
+		}
+	}
+}
+
+// sendControl emits an ack or nack. Control frames are never faulted (see
+// the type comment) and never retransmitted.
+func (ep *endpoint) sendControl(kind byte, seq uint32) {
+	frame := packFrame(kind, seq, nil)
+	ep.writeMu.Lock()
+	defer ep.writeMu.Unlock()
+	ep.stats.wireBits.Add(int64(8 * len(frame)))
+	ep.raw.Send(frame) // best effort: a lost control frame surfaces as a send timeout upstream
+}
+
+// send delivers one application frame reliably: transmit, await the ack,
+// retransmit on known drop (immediately), nack (on receipt) or timeout
+// (doubling backoff, capped at 8x the base), up to maxRetries times.
+func (ep *endpoint) send(kind byte, payload []byte) error {
+	ep.sendSeq++
+	seq := ep.sendSeq
+	frame := packFrame(kind, seq, payload)
+	// Drain nacks left over from an earlier frame's repair (the link is
+	// FIFO, so anything queued now predates this frame).
+	for {
+		select {
+		case <-ep.nackCh:
+			continue
+		default:
+		}
+		break
+	}
+	timeout := ep.timeout
+	maxTimeout := 8 * ep.timeout
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			ep.stats.retries.Add(1)
+		}
+		delivered, err := ep.sendRaw(frame, true)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrDelivery, err)
+		}
+		if delivered {
+			timer := time.NewTimer(timeout)
+		await:
+			for {
+				select {
+				case ackSeq := <-ep.ackCh:
+					if ackSeq == seq {
+						timer.Stop()
+						return nil
+					}
+					// Stale ack for an earlier frame (e.g. from an injected
+					// duplicate); keep waiting within this attempt.
+				case <-ep.nackCh:
+					// The receiver saw a corrupted frame; retransmit now.
+					timer.Stop()
+					break await
+				case <-timer.C:
+					break await
+				case <-ep.closed:
+					timer.Stop()
+					return fmt.Errorf("%w: %v", ErrDelivery, ErrLinkClosed)
+				}
+			}
+		}
+		if attempt >= ep.maxRetries {
+			return fmt.Errorf("%w: no ack for frame kind %d after %d attempts", ErrDelivery, kind, attempt+1)
+		}
+		if timeout < maxTimeout {
+			timeout *= 2
+			if timeout > maxTimeout {
+				timeout = maxTimeout
+			}
+		}
+	}
+}
+
+// sendRaw puts one frame on the wire, applying the injector's decision
+// when faultable. A dropped frame still counts its wire bits (the sender
+// transmitted; the medium ate it), keeping the delivered-bits overhead
+// metric honest; delivered=false tells the caller to retransmit without
+// waiting, since the loss is known to this side.
+func (ep *endpoint) sendRaw(frame []byte, faultable bool) (delivered bool, err error) {
+	bits := int64(8 * len(frame))
+	if !faultable || ep.inj == nil {
+		ep.writeMu.Lock()
+		defer ep.writeMu.Unlock()
+		ep.stats.wireBits.Add(bits)
+		return true, ep.raw.Send(frame)
+	}
+	d := ep.inj.Decide(len(frame) * 8)
+	if d.Delay > 0 {
+		if ep.notify != nil {
+			ep.notify(faults.Delay)
+		}
+		time.Sleep(d.Delay)
+	}
+	out := frame
+	if d.CorruptBit >= 0 {
+		if ep.notify != nil {
+			ep.notify(faults.Corrupt)
+		}
+		out = make([]byte, len(frame))
+		copy(out, frame)
+		out[d.CorruptBit/8] ^= 1 << uint(7-d.CorruptBit%8)
+	}
+	ep.writeMu.Lock()
+	defer ep.writeMu.Unlock()
+	if d.Drop {
+		if ep.notify != nil {
+			ep.notify(faults.Drop)
+		}
+		ep.stats.wireBits.Add(bits)
+		return false, nil
+	}
+	ep.stats.wireBits.Add(bits)
+	if err := ep.raw.Send(out); err != nil {
+		return false, err
+	}
+	if d.Duplicate {
+		if ep.notify != nil {
+			ep.notify(faults.Duplicate)
+		}
+		ep.stats.wireBits.Add(bits)
+		return true, ep.raw.Send(out)
+	}
+	return true, nil
+}
+
+// recv surfaces the next application frame, or an error after the deadline
+// or once the link is severed.
+func (ep *endpoint) recv(deadline time.Duration) (inbound, error) {
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case in := <-ep.dataCh:
+		return in, nil
+	case <-timer.C:
+		return inbound{}, fmt.Errorf("netrun: no frame within %v", deadline)
+	case <-ep.closed:
+		// Drain a frame that raced with the close.
+		select {
+		case in := <-ep.dataCh:
+			return in, nil
+		default:
+		}
+		return inbound{}, ErrLinkClosed
+	}
+}

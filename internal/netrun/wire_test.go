@@ -1,0 +1,206 @@
+package netrun
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"broadcastic/internal/blackboard"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	f := packFrame(frameMsg, 7, payload)
+	kind, seq, got, ok := parseFrame(f)
+	if !ok || kind != frameMsg || seq != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: kind=%d seq=%d payload=%x ok=%v", kind, seq, got, ok)
+	}
+	// Empty payload.
+	kind, seq, got, ok = parseFrame(packFrame(frameAck, 1, nil))
+	if !ok || kind != frameAck || seq != 1 || len(got) != 0 {
+		t.Fatalf("empty round trip: kind=%d seq=%d payload=%x ok=%v", kind, seq, got, ok)
+	}
+}
+
+func TestParseFrameRejectsCorruption(t *testing.T) {
+	f := packFrame(frameSync, 3, []byte{1, 2, 3})
+	// Every single-bit flip anywhere in the frame must be caught.
+	for bit := 0; bit < 8*len(f); bit++ {
+		c := make([]byte, len(f))
+		copy(c, f)
+		c[bit/8] ^= 1 << uint(7-bit%8)
+		if _, _, _, ok := parseFrame(c); ok {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+	if _, _, _, ok := parseFrame(f[:5]); ok {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, _, _, ok := parseFrame(nil); ok {
+		t.Fatal("nil frame accepted")
+	}
+}
+
+func TestMessagePayloadRoundTrip(t *testing.T) {
+	msgs := []blackboard.Message{
+		{Player: 0, Bits: []byte{0b10110000}, Len: 4},
+		{Player: 3, Bits: []byte{0xff, 0x80}, Len: 9},
+		{Player: 1, Bits: nil, Len: 0},
+	}
+	for _, m := range msgs {
+		got, err := decodeMessagePayload(encodeMessagePayload(m))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", m, err)
+		}
+		if got.Player != m.Player || got.Len != m.Len || !bytes.Equal(got.Bits, m.Bits[:(m.Len+7)/8]) {
+			t.Fatalf("round trip %+v -> %+v", m, got)
+		}
+	}
+	for _, bad := range [][]byte{{}, {0x01}, {0x00, 0x09}} {
+		if _, err := decodeMessagePayload(bad); err == nil {
+			t.Fatalf("malformed payload %x accepted", bad)
+		}
+	}
+	if n, err := decodeTurnPayload(encodeTurnPayload(42)); err != nil || n != 42 {
+		t.Fatalf("turn payload: %d, %v", n, err)
+	}
+	if _, err := decodeTurnPayload(nil); err == nil {
+		t.Fatal("empty turn payload accepted")
+	}
+}
+
+// lossyLink drops the first n outbound frames, then passes everything.
+type lossyLink struct {
+	Link
+	drop int
+}
+
+func (l *lossyLink) Send(frame []byte) error {
+	if l.drop > 0 {
+		l.drop--
+		return nil
+	}
+	return l.Link.Send(frame)
+}
+
+func newEndpointPair(t *testing.T, wrapA func(Link) Link, timeout time.Duration, maxRetries int) (*endpoint, *endpoint) {
+	t.Helper()
+	coord, players, err := NewChanTransport().Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA := coord[0]
+	if wrapA != nil {
+		rawA = wrapA(rawA)
+	}
+	a := newEndpoint(rawA, nil, timeout, maxRetries, nil)
+	b := newEndpoint(players[0], nil, timeout, maxRetries, nil)
+	t.Cleanup(func() { a.close(); b.close() })
+	return a, b
+}
+
+func TestEndpointDelivers(t *testing.T) {
+	a, b := newEndpointPair(t, nil, 50*time.Millisecond, 2)
+	if err := a.send(frameSync, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	in, err := b.recv(time.Second)
+	if err != nil || in.kind != frameSync || string(in.payload) != "hello" {
+		t.Fatalf("recv = %+v, %v", in, err)
+	}
+	if got := a.stats.retries.Load(); got != 0 {
+		t.Fatalf("clean delivery cost %d retries", got)
+	}
+}
+
+func TestEndpointRetransmits(t *testing.T) {
+	a, b := newEndpointPair(t, func(l Link) Link { return &lossyLink{Link: l, drop: 2} }, 10*time.Millisecond, 5)
+	if err := a.send(frameTurn, encodeTurnPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	in, err := b.recv(time.Second)
+	if err != nil || in.kind != frameTurn {
+		t.Fatalf("recv = %+v, %v", in, err)
+	}
+	if got := a.stats.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	// Exactly one copy must surface despite the retransmissions.
+	if _, err := b.recv(50 * time.Millisecond); err == nil {
+		t.Fatal("duplicate frame surfaced")
+	}
+}
+
+func TestEndpointGivesUp(t *testing.T) {
+	a, _ := newEndpointPair(t, func(l Link) Link { return &lossyLink{Link: l, drop: 1 << 30} }, 5*time.Millisecond, 2)
+	err := a.send(frameSync, []byte("x"))
+	if !errors.Is(err, ErrDelivery) {
+		t.Fatalf("err = %v, want ErrDelivery", err)
+	}
+	if got := a.stats.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+func TestTransportsRoundTrip(t *testing.T) {
+	for _, tr := range []Transport{NewChanTransport(), NewPipeTransport(), NewTCPTransport()} {
+		t.Run(tr.Name(), func(t *testing.T) {
+			coord, players, err := tr.Open(3)
+			if err != nil {
+				if tr.Name() == "tcp" {
+					t.Skipf("tcp unavailable: %v", err)
+				}
+				t.Fatal(err)
+			}
+			for i := range coord {
+				defer coord[i].Close()
+				defer players[i].Close()
+			}
+			// Links must be independent and bidirectional.
+			for i := range coord {
+				want := []byte{byte(i), 0xaa}
+				done := make(chan error, 1)
+				go func() { done <- coord[i].Send(want) }()
+				got, err := players[i].Recv()
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("link %d: recv %x, %v", i, got, err)
+				}
+				if err := <-done; err != nil {
+					t.Fatalf("link %d: send: %v", i, err)
+				}
+				go func() { done <- players[i].Send(want) }()
+				if got, err := coord[i].Recv(); err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("link %d reverse: recv %x, %v", i, got, err)
+				}
+				<-done
+			}
+			// Closing one side unblocks the peer's Recv.
+			errCh := make(chan error, 1)
+			go func() {
+				_, err := players[0].Recv()
+				errCh <- err
+			}()
+			coord[0].Close()
+			select {
+			case err := <-errCh:
+				if err == nil {
+					t.Fatal("Recv after peer close returned a frame")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv did not unblock on peer close")
+			}
+		})
+	}
+}
+
+func TestTransportRejectsBadPlayerCount(t *testing.T) {
+	for _, tr := range []Transport{NewChanTransport(), NewPipeTransport(), NewTCPTransport()} {
+		if _, _, err := tr.Open(0); err == nil {
+			t.Fatalf("%s: Open(0) succeeded", tr.Name())
+		}
+	}
+	if _, _, err := NewTCPTransport().Open(300); err == nil {
+		t.Fatal("tcp Open(300) succeeded")
+	}
+}

@@ -3,15 +3,19 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"broadcastic/internal/andk"
 	"broadcastic/internal/bitvec"
+	"broadcastic/internal/blackboard"
 	"broadcastic/internal/compress"
 	"broadcastic/internal/core"
 	"broadcastic/internal/disj"
 	"broadcastic/internal/dist"
+	"broadcastic/internal/faults"
 	"broadcastic/internal/info"
 	"broadcastic/internal/intersect"
+	"broadcastic/internal/netrun"
 	"broadcastic/internal/pointwise"
 	"broadcastic/internal/pool"
 	"broadcastic/internal/prob"
@@ -1355,7 +1359,120 @@ func E19WirelessContention(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment and returns the tables in E1..E19 order. The
+// E20NetworkedOverhead runs the Section 5 protocol on the concurrent
+// networked runtime (internal/netrun) under increasing recoverable fault
+// rates, measuring what reliability costs: the board-level bits are
+// invariant (the ARQ layer repairs every fault below the protocol), while
+// the wire-level bits — headers, acks, retransmissions — grow with the
+// fault rate. The fault-free row calibrates the framing overhead itself.
+//
+// Only drop/dup/corrupt mixes appear: delay faults would make wall-clock
+// scheduling (not the seed) decide retransmissions, breaking the
+// bit-identical-at-any-worker-count contract this harness guarantees.
+func E20NetworkedOverhead(cfg Config) (*Table, error) {
+	if err := cfg.scaleOK(); err != nil {
+		return nil, err
+	}
+	n, k, trials := 1024, 8, 3
+	if cfg.Scale == Quick {
+		n, k, trials = 256, 6, 2
+	}
+	mixes := []string{
+		"none",
+		"drop=0.04",
+		"drop=0.12",
+		"dup=0.1",
+		"corrupt=0.04",
+		"drop=0.05,dup=0.05,corrupt=0.02",
+	}
+
+	// One shared instance and fault-free reference transcript, generated
+	// serially so every sweep cell (at any worker count) sees the same run.
+	inst, err := disj.GenerateFromMuN(rng.New(cfg.Seed+20), n, k)
+	if err != nil {
+		return nil, err
+	}
+	refProto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		return nil, err
+	}
+	refRes, err := blackboard.Run(refProto.Scheduler(), refProto.Players(), nil, refProto.Limits())
+	if err != nil {
+		return nil, err
+	}
+	refKey := refRes.Board.TranscriptKey()
+	refOut, err := refProto.Outcome(refRes.Board)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "E20",
+		Title: fmt.Sprintf("Delivered-bits overhead of the networked runtime vs fault rate (n=%d, k=%d)", n, k),
+		Note: "chan transport, stop-and-wait ARQ; board bits are invariant by the conformance " +
+			"guarantee, wire bits (headers+acks+retransmissions) pay for reliability.",
+		Header: []string{"faults", "board bits", "wire bits", "wire/board", "retries", "injected"},
+	}
+	err = sweepRows(cfg, t, rng.New(cfg.Seed+120), len(mixes), func(cell int, src *rng.Source) ([]string, error) {
+		plan, err := faults.Parse(mixes[cell])
+		if err != nil {
+			return nil, err
+		}
+		var wireBits, retries []float64
+		var injected faults.Counts
+		for tr := 0; tr < trials; tr++ {
+			proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+			if err != nil {
+				return nil, err
+			}
+			// The generous timeout is a backstop only: injected drops
+			// retransmit immediately and corruptions repair via nack, so the
+			// wire statistics are seed-deterministic regardless of machine
+			// load (the worker-invariance contract).
+			res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
+				Faults:  plan,
+				Seed:    src.Uint64(),
+				Timeout: time.Second,
+				Limits:  proto.Limits(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Board.TranscriptKey() != refKey {
+				return nil, fmt.Errorf("sim: E20 transcript diverged under %q", mixes[cell])
+			}
+			out, err := proto.Outcome(res.Board)
+			if err != nil {
+				return nil, err
+			}
+			if out.Disjoint != refOut.Disjoint {
+				return nil, fmt.Errorf("sim: E20 answer flipped under %q", mixes[cell])
+			}
+			wireBits = append(wireBits, float64(res.Stats.WireBits))
+			var r int64
+			for _, ps := range res.Stats.PerPlayer {
+				r += ps.Retries
+			}
+			retries = append(retries, float64(r))
+			injected.Add(res.Stats.Faults)
+		}
+		ws := Summarize(wireBits)
+		return []string{
+			mixes[cell],
+			fmt.Sprintf("%d", refOut.Bits),
+			F(ws.Mean),
+			F(ws.Mean / float64(refOut.Bits)),
+			F(Summarize(retries).Mean),
+			injected.String(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// All runs every experiment and returns the tables in E1..E20 order. The
 // experiments themselves run concurrently on the configured worker pool
 // (each one also parallelizes its own sweep); every experiment seeds its
 // randomness independently from cfg.Seed, so the tables are identical to a
@@ -1367,7 +1484,7 @@ func All(cfg Config) ([]*Table, error) {
 		E9PosteriorPointing, E10RejectionSampler, E11AmortizedCompression,
 		E12DivergenceBound, E13SparseIntersection, E14Ablations,
 		E15TwoPartyBaseline, E16CostBreakdown, E17PointwiseOr,
-		E18InternalVsExternal, E19WirelessContention,
+		E18InternalVsExternal, E19WirelessContention, E20NetworkedOverhead,
 	}
 	return pool.Map(cfg.workers(), len(funcs), func(i int) (*Table, error) {
 		return funcs[i](cfg)

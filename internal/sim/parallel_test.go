@@ -51,7 +51,7 @@ func TestSerialEquivalence(t *testing.T) {
 }
 
 // TestAllWorkerCountInvariance renders the full suite at 1 and 4 workers;
-// every one of the nineteen tables must match byte for byte.
+// every one of the twenty tables must match byte for byte.
 func TestAllWorkerCountInvariance(t *testing.T) {
 	render := func(workers int) []string {
 		tables, err := All(Config{Seed: 7, Scale: Quick, Workers: workers})
@@ -70,8 +70,8 @@ func TestAllWorkerCountInvariance(t *testing.T) {
 	}
 	serial := render(1)
 	parallel := render(4)
-	if len(serial) != 19 || len(parallel) != 19 {
-		t.Fatalf("suite sizes %d/%d, want 19", len(serial), len(parallel))
+	if len(serial) != 20 || len(parallel) != 20 {
+		t.Fatalf("suite sizes %d/%d, want 20", len(serial), len(parallel))
 	}
 	for i := range serial {
 		if serial[i] != parallel[i] {

@@ -318,8 +318,8 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 19 {
-		t.Fatalf("All returned %d tables, want 19", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("All returned %d tables, want 20", len(tables))
 	}
 	var sb strings.Builder
 	for _, tbl := range tables {
@@ -409,6 +409,34 @@ func TestE18Shape(t *testing.T) {
 	}
 	if !sawStrictGap {
 		t.Fatal("no strict internal < external gap observed anywhere")
+	}
+}
+
+func TestE20Shape(t *testing.T) {
+	tbl, err := E20NetworkedOverhead(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: faults, board bits, wire bits, wire/board, retries, injected.
+	if tbl.Rows[0][0] != "none" {
+		t.Fatalf("first row faults %q, want none", tbl.Rows[0][0])
+	}
+	baseWire := cell(t, tbl, 0, 2)
+	if ratio := cell(t, tbl, 0, 3); ratio <= 1 {
+		t.Fatalf("fault-free framing overhead %v not above 1", ratio)
+	}
+	if retries := cell(t, tbl, 0, 4); retries != 0 {
+		t.Fatalf("fault-free run spent %v retries", retries)
+	}
+	for r := 1; r < len(tbl.Rows); r++ {
+		// Board bits are invariant across fault mixes; wire bits exceed the
+		// fault-free baseline.
+		if tbl.Rows[r][1] != tbl.Rows[0][1] {
+			t.Fatalf("row %d: board bits %s differ from fault-free %s", r, tbl.Rows[r][1], tbl.Rows[0][1])
+		}
+		if wire := cell(t, tbl, r, 2); wire <= baseWire {
+			t.Fatalf("row %d (%s): wire bits %v not above fault-free %v", r, tbl.Rows[r][0], wire, baseWire)
+		}
 	}
 }
 
