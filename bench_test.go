@@ -9,18 +9,40 @@ package broadcastic_test
 // BROADCASTIC_SCALE=quick to run the reduced parameter grids and
 // BROADCASTIC_WORKERS=N to bound sweep parallelism (default: one worker
 // per CPU; tables are bit-identical for every value).
+//
+// Machine-readable output: with BROADCASTIC_BENCH_JSON=<path> set, the
+// shared harness aggregates every benchmark invocation (across -count
+// repeats) and TestMain writes one benchjson File to <path> — the format
+// the CI perf gate (cmd/benchgate) compares against BENCH_baseline.json.
+// Each entry carries mean and min ns/op, allocs/op, recorded bits/op
+// (board + wire bits where the instrumented layers ran) and the full
+// per-op telemetry snapshot.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
+	"broadcastic/internal/pool"
 	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/benchjson"
 )
+
+func benchScale() string {
+	if os.Getenv("BROADCASTIC_SCALE") == "quick" {
+		return "quick"
+	}
+	return "full"
+}
 
 func benchConfig() sim.Config {
 	cfg := sim.Config{Seed: 1, Scale: sim.Full}
-	if os.Getenv("BROADCASTIC_SCALE") == "quick" {
+	if benchScale() == "quick" {
 		cfg.Scale = sim.Quick
 	}
 	if w, err := strconv.Atoi(os.Getenv("BROADCASTIC_WORKERS")); err == nil {
@@ -29,19 +51,101 @@ func benchConfig() sim.Config {
 	return cfg
 }
 
+// benchSamples accumulates one sample per benchmark invocation (so -count N
+// contributes N samples per op) for the TestMain JSON export.
+var benchSamples struct {
+	sync.Mutex
+	byName map[string]*benchjson.Entry
+}
+
+// recordSample folds one benchmark invocation into the aggregate entry:
+// iterations sum, ns/op as the mean of sample means plus the min sample,
+// allocs/op and metrics as running means across samples.
+func recordSample(name string, iters int64, nsPerOp, allocsPerOp float64, snapshot map[string]float64) {
+	benchSamples.Lock()
+	defer benchSamples.Unlock()
+	if benchSamples.byName == nil {
+		benchSamples.byName = make(map[string]*benchjson.Entry)
+	}
+	e := benchSamples.byName[name]
+	if e == nil {
+		e = &benchjson.Entry{Name: name, MinNsPerOp: nsPerOp}
+		benchSamples.byName[name] = e
+	}
+	n := float64(e.Samples)
+	e.Samples++
+	e.Iterations += iters
+	e.NsPerOp = (e.NsPerOp*n + nsPerOp) / (n + 1)
+	if nsPerOp < e.MinNsPerOp {
+		e.MinNsPerOp = nsPerOp
+	}
+	e.AllocsPerOp = (e.AllocsPerOp*n + allocsPerOp) / (n + 1)
+	bits := snapshot[telemetry.BlackboardBits] + snapshot[telemetry.NetrunWireBits]
+	e.BitsPerOp = (e.BitsPerOp*n + bits) / (n + 1)
+	if len(snapshot) > 0 && e.Metrics == nil {
+		e.Metrics = make(map[string]float64, len(snapshot))
+	}
+	for k, v := range snapshot {
+		e.Metrics[k] = (e.Metrics[k]*n + v) / (n + 1)
+	}
+}
+
+// writeBenchJSON exports the aggregated samples to path.
+func writeBenchJSON(path string) error {
+	benchSamples.Lock()
+	defer benchSamples.Unlock()
+	if len(benchSamples.byName) == 0 {
+		return nil
+	}
+	f := benchjson.New(benchScale(), pool.Workers(benchConfig().Workers))
+	f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	for _, e := range benchSamples.byName {
+		f.AddEntry(*e)
+	}
+	return benchjson.WriteFile(path, f)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BROADCASTIC_BENCH_JSON"); path != "" && code == 0 {
+		if err := writeBenchJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json export: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
 func runExperiment(b *testing.B, f func(sim.Config) (*sim.Table, error)) {
 	b.Helper()
+	rec := telemetry.NewCollector()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl, err := f(benchConfig())
+		cfg := benchConfig()
+		cfg.Recorder = rec
+		tbl, err := f(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
+			b.StopTimer()
 			if err := tbl.Render(os.Stdout); err != nil {
 				b.Fatal(err)
 			}
+			b.StartTimer()
 		}
 	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	snap := rec.Snapshot()
+	for k, v := range snap {
+		snap[k] = v / n
+	}
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, snap)
 }
 
 func BenchmarkE1_DisjScalingN(b *testing.B)          { runExperiment(b, sim.E1DisjScalingN) }
@@ -69,3 +173,5 @@ func BenchmarkE17_PointwiseOr(b *testing.B) { runExperiment(b, sim.E17PointwiseO
 func BenchmarkE18_InternalVsExternal(b *testing.B) { runExperiment(b, sim.E18InternalVsExternal) }
 
 func BenchmarkE19_WirelessContention(b *testing.B) { runExperiment(b, sim.E19WirelessContention) }
+
+func BenchmarkE20_NetworkedOverhead(b *testing.B) { runExperiment(b, sim.E20NetworkedOverhead) }

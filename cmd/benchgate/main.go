@@ -1,0 +1,105 @@
+// Command benchgate is the CI perf-regression gate: it compares a current
+// benchjson run against a committed baseline and exits nonzero when a gated
+// op regressed beyond the threshold on comparable hardware.
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json
+//
+// Regressions on differing host fingerprints are reported as warnings
+// only — absolute ns/op from different machines is not a signal — so a
+// locally generated baseline never spuriously fails CI. Refresh the
+// baseline with the procedure in README.md §Observability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"broadcastic/internal/telemetry/benchjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "committed baseline benchjson file")
+		currentPath  = fs.String("current", "", "benchjson file from the run under test (required)")
+		maxRegress   = fs.Float64("max-regress", 0.25, "blocking ns/op regression ratio (0.25 = +25%)")
+		useMin       = fs.Bool("min", true, "compare min-of-samples ns/op when available (noise floor)")
+		gatedOps     = fs.String("gate", "", "comma-separated op names to gate (empty: gate all ops)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *currentPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -current is required")
+		fs.Usage()
+		return 2
+	}
+	baseline, err := benchjson.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: baseline: %v\n", err)
+		return 2
+	}
+	current, err := benchjson.ReadFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: current: %v\n", err)
+		return 2
+	}
+	opts := benchjson.CompareOptions{MaxRegress: *maxRegress, CompareMin: *useMin}
+	if *gatedOps != "" {
+		gated := make(map[string]bool)
+		for _, name := range strings.Split(*gatedOps, ",") {
+			gated[strings.TrimSpace(name)] = true
+		}
+		opts.Gated = func(name string) bool { return gated[name] }
+	}
+	rep, err := benchjson.Compare(baseline, current, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "benchgate: baseline %s (%s) vs current %s (%s), threshold +%.0f%%\n",
+		short(baseline.GitSHA), baseline.Host, short(current.GitSHA), current.Host, *maxRegress*100)
+	if !rep.SameHost {
+		fmt.Fprintln(stdout, "benchgate: differing host fingerprints — regressions reported as warnings only")
+	}
+	for _, f := range rep.Findings {
+		switch {
+		case f.Verdict == benchjson.Missing:
+			fmt.Fprintf(stdout, "  %-12s %-40s %s\n", f.Verdict, f.Name, f.Note)
+		case f.Ratio > 0:
+			line := fmt.Sprintf("  %-12s %-40s %12.0f → %12.0f ns/op (%+.1f%%)",
+				f.Verdict, f.Name, f.Baseline, f.Current, (f.Ratio-1)*100)
+			if f.Note != "" {
+				line += " [" + f.Note + "]"
+			}
+			fmt.Fprintln(stdout, line)
+		default:
+			fmt.Fprintf(stdout, "  %-12s %-40s %s\n", f.Verdict, f.Name, f.Note)
+		}
+	}
+	if blocking := rep.Blocking(); len(blocking) > 0 {
+		fmt.Fprintf(stderr, "benchgate: FAIL — %d op(s) regressed more than %.0f%%\n", len(blocking), *maxRegress*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return 0
+}
+
+func short(sha string) string {
+	if sha == "" {
+		return "unknown"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

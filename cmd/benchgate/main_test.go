@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"broadcastic/internal/telemetry/benchjson"
+)
+
+func writeBench(t *testing.T, dir, name, host string, ns float64) string {
+	t.Helper()
+	f := benchjson.New("quick", 1)
+	if host != "" {
+		f.Host = host
+	}
+	f.AddEntry(benchjson.Entry{Name: "BenchmarkE1_DisjScalingN", Iterations: 3, NsPerOp: ns, MinNsPerOp: ns})
+	path := filepath.Join(dir, name)
+	if err := benchjson.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gate(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "", 100)
+	cur := writeBench(t, dir, "cur.json", "", 110)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur)
+	if code != 0 || !strings.Contains(out, "PASS") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "", 100)
+	cur := writeBench(t, dir, "cur.json", "", 160)
+	code, out, errOut := gate(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("code=%d, want 1; out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errOut, "FAIL") {
+		t.Fatalf("missing regression report: out=%q err=%q", out, errOut)
+	}
+}
+
+func TestGateWarnsAcrossHosts(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "laptop/arm64/ncpu=8", 100)
+	cur := writeBench(t, dir, "cur.json", "", 160)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("cross-host regression must warn, not fail: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "warning") || !strings.Contains(out, "differing host fingerprints") {
+		t.Fatalf("missing cross-host warning: %q", out)
+	}
+}
+
+func TestGateRespectsGateList(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "", 100)
+	cur := writeBench(t, dir, "cur.json", "", 160)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur, "-gate", "BenchmarkOther")
+	if code != 0 || !strings.Contains(out, "not gated") {
+		t.Fatalf("ungated op must not block: code=%d out=%q", code, out)
+	}
+}
+
+func TestGateUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "", 100)
+	if code, _, _ := gate(t, "-baseline", base); code != 2 {
+		t.Fatal("missing -current must exit 2")
+	}
+	if code, _, _ := gate(t, "-baseline", filepath.Join(dir, "absent.json"), "-current", base); code != 2 {
+		t.Fatal("unreadable baseline must exit 2")
+	}
+}

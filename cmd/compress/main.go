@@ -22,6 +22,7 @@ import (
 	"broadcastic/internal/info"
 	"broadcastic/internal/prob"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 func main() {
@@ -49,9 +50,20 @@ func runSampler(args []string) error {
 	fs := flag.NewFlagSet("sampler", flag.ContinueOnError)
 	trials := fs.Int("trials", 5000, "transmissions per divergence point")
 	seed := fs.Uint64("seed", 1, "public randomness seed")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "compress: profiles:", err)
+		}
+	}()
 	public := rng.New(*seed)
 	eta, err := prob.NewDist([]float64{0.95, 0.05})
 	if err != nil {
@@ -88,9 +100,20 @@ func runAmortized(args []string) error {
 	copiesFlag := fs.String("copies", "1,4,16,64,256", "comma-separated copy counts")
 	repeats := fs.Int("repeats", 40, "executions averaged per point")
 	seed := fs.Uint64("seed", 1, "random seed")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "compress: profiles:", err)
+		}
+	}()
 	var copyCounts []int
 	for _, part := range strings.Split(*copiesFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))

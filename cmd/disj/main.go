@@ -14,6 +14,7 @@ import (
 
 	"broadcastic/internal/disj"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 func main() {
@@ -32,9 +33,20 @@ func run(args []string) error {
 	protocol := fs.String("protocol", "both", "protocol: optimal, naive or both")
 	trials := fs.Int("trials", 3, "number of instances")
 	seed := fs.Uint64("seed", 1, "random seed")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "disj: profiles:", err)
+		}
+	}()
 	src := rng.New(*seed)
 	fmt.Printf("DISJ_{n=%d, k=%d}, kind=%s, trials=%d\n", *n, *k, *kind, *trials)
 	fmt.Printf("cost models: optimal n·log2k+k = %.0f, naive n·log2n+k = %.0f\n\n",

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale quick|full] [-only E4,E7] [-parallel N]
+//	            [-telemetry out.json] [-cpuprofile f] [-memprofile f] [-tracefile f]
+//
+// With -telemetry, each experiment runs with a telemetry collector attached
+// and one benchjson entry per experiment (wall time, recorded bits, full
+// metric snapshot) is written to out.json — the same schema the benchmark
+// suite and CI perf gate use. Tables are bit-identical with or without it.
 package main
 
 import (
@@ -11,8 +17,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"broadcastic/internal/pool"
 	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/benchjson"
 )
 
 func main() {
@@ -28,9 +38,21 @@ func run(args []string, out *os.File) error {
 	scale := fs.String("scale", "full", "experiment scale: quick or full")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU); output is identical for every value")
+	telemetryPath := fs.String("telemetry", "", "write per-experiment benchjson telemetry to this file")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profiles:", err)
+		}
+	}()
 	cfg := sim.Config{Seed: *seed, Workers: *parallel}
 	switch *scale {
 	case "quick":
@@ -40,21 +62,74 @@ func run(args []string, out *os.File) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
-	wanted := map[string]bool{}
+
+	all := sim.Experiments()
+	selected := all
 	if *only != "" {
+		byID := make(map[string]sim.Experiment, len(all))
+		for _, exp := range all {
+			byID[exp.ID] = exp
+		}
+		selected = selected[:0:0]
 		for _, id := range strings.Split(*only, ",") {
-			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+			id = strings.TrimSpace(strings.ToUpper(id))
+			exp, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, exp)
 		}
 	}
-	tables, err := sim.All(cfg)
+
+	type result struct {
+		table   *sim.Table
+		elapsed time.Duration
+		metrics map[string]float64
+	}
+	// Experiments are independent: run them on the pool like sim.All does,
+	// each with its own collector so per-experiment metrics don't mix.
+	results, err := pool.Map(pool.Workers(cfg.Workers), len(selected), func(i int) (result, error) {
+		ecfg := cfg
+		var rec *telemetry.Collector
+		if *telemetryPath != "" {
+			rec = telemetry.NewCollector()
+			ecfg.Recorder = rec
+		}
+		start := time.Now()
+		tbl, err := selected[i].Run(ecfg)
+		if err != nil {
+			return result{}, fmt.Errorf("%s: %w", selected[i].ID, err)
+		}
+		r := result{table: tbl, elapsed: time.Since(start)}
+		if rec != nil {
+			r.metrics = rec.Snapshot()
+		}
+		return r, nil
+	})
 	if err != nil {
 		return err
 	}
-	for _, tbl := range tables {
-		if len(wanted) > 0 && !wanted[tbl.ID] {
-			continue
+	for _, r := range results {
+		if err := r.table.Render(out); err != nil {
+			return err
 		}
-		if err := tbl.Render(out); err != nil {
+	}
+
+	if *telemetryPath != "" {
+		f := benchjson.New(*scale, pool.Workers(cfg.Workers))
+		f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		for i, r := range results {
+			f.AddEntry(benchjson.Entry{
+				Name:       selected[i].ID,
+				Iterations: 1,
+				NsPerOp:    float64(r.elapsed),
+				MinNsPerOp: float64(r.elapsed),
+				BitsPerOp:  r.metrics[telemetry.BlackboardBits] + r.metrics[telemetry.NetrunWireBits],
+				Samples:    1,
+				Metrics:    r.metrics,
+			})
+		}
+		if err := benchjson.WriteFile(*telemetryPath, f); err != nil {
 			return err
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"broadcastic/internal/core"
 	"broadcastic/internal/dist"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 func main() {
@@ -36,9 +37,20 @@ func run(args []string) error {
 	samples := fs.Int("samples", 20000, "Monte-Carlo samples")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "Monte-Carlo worker goroutines (0 = one per CPU); estimates are identical for every value")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "infocost: profiles:", err)
+		}
+	}()
 
 	var spec core.Spec
 	switch *protocol {

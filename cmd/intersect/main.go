@@ -16,6 +16,7 @@ import (
 	"broadcastic/internal/intersect"
 	"broadcastic/internal/pointwise"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 func main() {
@@ -47,9 +48,20 @@ func runSparse(args []string) error {
 	common := fs.Bool("common", false, "plant a common element")
 	trials := fs.Int("trials", 5, "number of instances")
 	seed := fs.Uint64("seed", 1, "random seed")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "intersect: profiles:", err)
+		}
+	}()
 	src := rng.New(*seed)
 	fmt.Printf("sparse intersection: n=%d s=%d k=%d common=%v\n\n", *n, *s, *k, *common)
 	for tr := 0; tr < *trials; tr++ {
@@ -83,9 +95,20 @@ func runUnion(args []string) error {
 	density := fs.Float64("density", 0.05, "element density per player")
 	trials := fs.Int("trials", 5, "number of instances")
 	seed := fs.Uint64("seed", 1, "random seed")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "intersect: profiles:", err)
+		}
+	}()
 	src := rng.New(*seed)
 	fmt.Printf("pointwise-OR (union): n=%d k=%d density=%v\n\n", *n, *k, *density)
 	for tr := 0; tr < *trials; tr++ {

@@ -23,6 +23,7 @@ import (
 	"broadcastic/internal/faults"
 	"broadcastic/internal/netrun"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 func main() {
@@ -43,9 +44,20 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 250*time.Millisecond, "base per-attempt ARQ timeout")
 	retries := fs.Int("retries", 12, "retransmission budget per frame")
 	trials := fs.Int("trials", 2, "number of instances")
+	var profiles telemetry.Profiles
+	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "netdisj: profiles:", err)
+		}
+	}()
 
 	var tr netrun.Transport
 	switch *transport {

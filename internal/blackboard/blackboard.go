@@ -19,6 +19,7 @@ import (
 
 	"broadcastic/internal/encoding"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // Message is one blackboard write: a bit string attributed to a player.
@@ -191,10 +192,18 @@ type Result struct {
 // before each append (see Limits); an execution that would exceed one fails
 // without the oversized message on the board.
 func Run(sched Scheduler, players []Player, public *rng.Source, lim Limits) (*Result, error) {
+	return RunRecorded(sched, players, public, lim, nil)
+}
+
+// RunRecorded is Run with a telemetry Recorder attached to the execution
+// (see Stepper.SetRecorder for what is emitted). A nil rec is exactly Run;
+// any rec leaves the transcript bit-identical.
+func RunRecorded(sched Scheduler, players []Player, public *rng.Source, lim Limits, rec telemetry.Recorder) (*Result, error) {
 	st, err := NewStepper(sched, len(players), public, lim)
 	if err != nil {
 		return nil, err
 	}
+	st.SetRecorder(rec)
 	for {
 		speaker, done, err := st.Next()
 		if err != nil {

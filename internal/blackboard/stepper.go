@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // Stepper exposes the execution loop of Run one step at a time, so that
@@ -26,6 +27,11 @@ type Stepper struct {
 	// delivery is pending.
 	expect int
 	done   bool
+
+	// rec receives the board-level accounting (nil: disabled, one branch
+	// per event); pubMark anchors the public-randomness draw count.
+	rec     telemetry.Recorder
+	pubMark rng.Mark
 }
 
 // NewStepper builds a stepper over a fresh board for numPlayers players.
@@ -38,6 +44,19 @@ func NewStepper(sched Scheduler, numPlayers int, public *rng.Source, lim Limits)
 		return nil, err
 	}
 	return &Stepper{board: board, sched: sched, lim: lim, expect: -1}, nil
+}
+
+// SetRecorder installs a telemetry Recorder for this execution (nil to
+// disable, the default). The stepper emits the paper's communication
+// accounting — messages, total and per-player bits as they land on the
+// board, and rounds/bits/public-RNG-draw summaries when the scheduler
+// halts. Recording never alters execution: transcripts are bit-identical
+// with any recorder installed.
+func (st *Stepper) SetRecorder(rec telemetry.Recorder) {
+	st.rec = rec
+	if pub := st.board.Public(); rec != nil && pub != nil {
+		st.pubMark = pub.Mark()
+	}
 }
 
 // Board returns the board under execution.
@@ -62,6 +81,9 @@ func (st *Stepper) Next() (speaker int, done bool, err error) {
 	}
 	if done {
 		st.done = true
+		if st.rec != nil {
+			st.recordFinish()
+		}
 		return 0, true, nil
 	}
 	if speaker < 0 || speaker >= st.board.NumPlayers() {
@@ -91,5 +113,20 @@ func (st *Stepper) Deliver(m Message) error {
 		return err
 	}
 	st.expect = -1
+	if st.rec != nil {
+		st.rec.Count(telemetry.BlackboardMessages, 1)
+		st.rec.Count(telemetry.BlackboardBits, int64(m.Len))
+		st.rec.Count(telemetry.Indexed(telemetry.BlackboardPlayer, m.Player, "bits"), int64(m.Len))
+	}
 	return nil
+}
+
+// recordFinish emits the run-level summaries once, when the scheduler
+// halts the protocol.
+func (st *Stepper) recordFinish() {
+	st.rec.Observe(telemetry.BlackboardRounds, float64(st.board.NumMessages()))
+	st.rec.Observe(telemetry.BlackboardRunBits, float64(st.board.TotalBits()))
+	if pub := st.board.Public(); pub != nil {
+		st.rec.Observe(telemetry.BlackboardPublicDraws, float64(pub.DrawsSince(st.pubMark)))
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // CICEstimate is the result of a Monte-Carlo conditional-information-cost
@@ -56,6 +57,14 @@ func EstimateCIC(spec Spec, prior Prior, src *rng.Source, samples int) (*CICEsti
 // shard streams are derived serially up front and shard moments are merged
 // in shard order.
 func EstimateCICWorkers(spec Spec, prior Prior, src *rng.Source, samples, workers int) (*CICEstimate, error) {
+	return EstimateCICRecorded(spec, prior, src, samples, workers, nil)
+}
+
+// EstimateCICRecorded is EstimateCICWorkers with estimator telemetry: the
+// sample and shard counts, and each shard's wall time. A nil rec is
+// exactly EstimateCICWorkers; any rec leaves the estimate bit-identical,
+// since recording draws nothing from the sample streams.
+func EstimateCICRecorded(spec Spec, prior Prior, src *rng.Source, samples, workers int, rec telemetry.Recorder) (*CICEstimate, error) {
 	if err := validateShapes(spec, prior); err != nil {
 		return nil, err
 	}
@@ -67,13 +76,20 @@ func EstimateCICWorkers(spec Spec, prior Prior, src *rng.Source, samples, worker
 	}
 	shards := (samples + cicShardSize - 1) / cicShardSize
 	streams := src.SplitN(shards)
-	parts, err := pool.Map(pool.Workers(workers), shards, func(i int) (cicPartial, error) {
+	if rec != nil {
+		rec.Count(telemetry.CoreCICSamples, int64(samples))
+		rec.Count(telemetry.CoreCICShards, int64(shards))
+	}
+	parts, err := pool.MapRecorded(pool.Workers(workers), shards, func(i int) (cicPartial, error) {
 		count := cicShardSize
 		if i == shards-1 {
 			count = samples - i*cicShardSize
 		}
-		return cicShard(spec, prior, streams[i], count)
-	})
+		span := telemetry.StartSpan(rec, telemetry.CoreCICShardNs)
+		p, err := cicShard(spec, prior, streams[i], count)
+		span.End()
+		return p, err
+	}, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -37,6 +37,9 @@ const (
 	Corrupt
 	Delay
 	Crash
+
+	// NumKinds is the number of fault kinds; valid kinds are 0..NumKinds-1.
+	NumKinds = int(Crash) + 1
 )
 
 // String returns the flag-syntax name of the kind.

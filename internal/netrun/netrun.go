@@ -54,6 +54,7 @@ import (
 	"broadcastic/internal/blackboard"
 	"broadcastic/internal/faults"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // Config tunes a networked run. The zero value is usable: in-process
@@ -73,23 +74,15 @@ type Config struct {
 	MaxRetries int
 	// Limits bound the protocol exactly as in blackboard.Run.
 	Limits blackboard.Limits
-	// Hooks receives telemetry callbacks; may be nil.
-	Hooks Hooks
-}
-
-// Hooks observes a run. Methods may be called concurrently from the
-// coordinator and player goroutines; implementations synchronize
-// themselves.
-type Hooks interface {
-	// TurnCompleted fires after each delivered turn with the wall-clock
-	// latency from turn announcement to delivery and the retransmissions
-	// spent on that player's links during the turn.
-	TurnCompleted(player int, latency time.Duration, retries int)
-	// FaultInjected fires for every injected link fault on either direction
-	// of the player's link.
-	FaultInjected(player int, kind faults.Kind)
-	// PlayerCrashed fires when a crash is detected.
-	PlayerCrashed(player int)
+	// Recorder receives the run's telemetry (nil: disabled). It replaces
+	// the callback Hooks of earlier revisions, which fired only on the
+	// happy path; the Recorder is driven from the exact sites that update
+	// the wire-level counters — every retransmission trigger (known drop,
+	// NACK, timeout), every discarded frame, every injected fault — so its
+	// counters always match the returned Stats. Implementations must be
+	// safe for concurrent use; recording never changes transcripts, bit
+	// counts or outcomes.
+	Recorder telemetry.Recorder
 }
 
 // PlayerStats is per-player link and turn telemetry.
@@ -220,18 +213,16 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 		injPlayer = make([]*faults.Injector, k)
 	}
 
-	notify := func(player int) func(faults.Kind) {
-		if cfg.Hooks == nil {
-			return nil
-		}
-		return func(kind faults.Kind) { cfg.Hooks.FaultInjected(player, kind) }
-	}
+	st.SetRecorder(cfg.Recorder)
 
+	// Both directions of player i's link record under the same link index:
+	// the per-link breakdown mirrors Stats.PerPlayer, which also sums the
+	// two directions.
 	coordEps := make([]*endpoint, k)
 	playerEps := make([]*endpoint, k)
 	for i := 0; i < k; i++ {
-		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, notify(i))
-		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, notify(i))
+		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, cfg.Recorder, i)
+		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, cfg.Recorder, i)
 	}
 	closeAll := func() {
 		for i := 0; i < k; i++ {
@@ -295,9 +286,7 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 		return &Result{Board: st.Board(), Stats: stats, Crashed: crashed}
 	}
 	crash := func(player int, cause error) (*Result, error) {
-		if cfg.Hooks != nil {
-			cfg.Hooks.PlayerCrashed(player)
-		}
+		telemetry.Count(cfg.Recorder, telemetry.NetrunCrashes, 1)
 		res := finish([]int{player})
 		return res, &CrashError{Player: player, Cause: cause}
 	}
@@ -316,7 +305,6 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 		}
 
 		turnStart := time.Now()
-		retriesBefore := coordEps[speaker].stats.retries.Load() + playerEps[speaker].stats.retries.Load()
 		if err := coordEps[speaker].send(frameTurn, encodeTurnPayload(st.Board().NumMessages())); err != nil {
 			return crash(speaker, err)
 		}
@@ -365,9 +353,9 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 		ps.Turns++
 		latency := time.Since(turnStart)
 		ps.Latency += latency
-		if cfg.Hooks != nil {
-			retries := coordEps[speaker].stats.retries.Load() + playerEps[speaker].stats.retries.Load() - retriesBefore
-			cfg.Hooks.TurnCompleted(speaker, latency, int(retries))
+		if cfg.Recorder != nil {
+			cfg.Recorder.Count(telemetry.NetrunTurns, 1)
+			cfg.Recorder.Observe(telemetry.NetrunTurnNs, float64(latency))
 		}
 	}
 }

@@ -2,7 +2,6 @@ package netrun_test
 
 import (
 	"errors"
-	"sync"
 	"testing"
 	"time"
 
@@ -14,6 +13,7 @@ import (
 	"broadcastic/internal/netrun"
 	"broadcastic/internal/prob"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // boardProtocol is the shape every protocol adapter in this repository
@@ -329,42 +329,69 @@ func TestFaultReproducibility(t *testing.T) {
 	}
 }
 
-// testHooks records callbacks; methods are called from several goroutines.
-type testHooks struct {
-	mu      sync.Mutex
-	turns   int
-	faults  faults.Counts
-	crashed []int
+// recordedFaults sums the per-link per-kind fault counters of a run with k
+// links into a faults.Counts for comparison against Stats.
+func recordedFaults(rec *telemetry.Collector, k int) faults.Counts {
+	var c faults.Counts
+	for i := 0; i < k; i++ {
+		c.Drops += int(rec.Counter(telemetry.Indexed(telemetry.NetrunLink, i, "faults.drop")))
+		c.Duplicates += int(rec.Counter(telemetry.Indexed(telemetry.NetrunLink, i, "faults.dup")))
+		c.Corruptions += int(rec.Counter(telemetry.Indexed(telemetry.NetrunLink, i, "faults.corrupt")))
+		c.Delays += int(rec.Counter(telemetry.Indexed(telemetry.NetrunLink, i, "faults.delay")))
+	}
+	return c
 }
 
-func (h *testHooks) TurnCompleted(player int, latency time.Duration, retries int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.turns++
-}
-
-func (h *testHooks) FaultInjected(player int, kind faults.Kind) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	switch kind {
-	case faults.Drop:
-		h.faults.Drops++
-	case faults.Duplicate:
-		h.faults.Duplicates++
-	case faults.Corrupt:
-		h.faults.Corruptions++
-	case faults.Delay:
-		h.faults.Delays++
+// assertRecorderMatchesStats pins the satellite fix of this PR: the
+// Recorder is driven from the same statements that update the wire-level
+// atomics, so its counters must equal the returned Stats exactly — on the
+// happy path and on every repair path (known-drop retransmit, NACK
+// retransmit, duplicate discard).
+func assertRecorderMatchesStats(t *testing.T, rec *telemetry.Collector, res *netrun.Result, k int) {
+	t.Helper()
+	var retries, badFrames, dupFrames int64
+	for _, ps := range res.Stats.PerPlayer {
+		retries += ps.Retries
+		badFrames += ps.BadFrames
+		dupFrames += ps.DupFrames
+	}
+	if got := rec.Counter(telemetry.NetrunRetries); got != retries {
+		t.Errorf("recorded retries %d, stats %d", got, retries)
+	}
+	if got := rec.Counter(telemetry.NetrunBadFrames); got != badFrames {
+		t.Errorf("recorded bad frames %d, stats %d", got, badFrames)
+	}
+	if got := rec.Counter(telemetry.NetrunDupFrames); got != dupFrames {
+		t.Errorf("recorded dup frames %d, stats %d", got, dupFrames)
+	}
+	if got := rec.Counter(telemetry.NetrunWireBits); got != res.Stats.WireBits {
+		t.Errorf("recorded wire bits %d, stats %d", got, res.Stats.WireBits)
+	}
+	if got := recordedFaults(rec, k); got != res.Stats.Faults {
+		t.Errorf("recorded faults %+v, stats %+v", got, res.Stats.Faults)
+	}
+	if got := rec.Counter(telemetry.NetrunFaults); int(got) !=
+		res.Stats.Faults.Drops+res.Stats.Faults.Duplicates+res.Stats.Faults.Corruptions+res.Stats.Faults.Delays {
+		t.Errorf("recorded fault total %d, stats %+v", got, res.Stats.Faults)
+	}
+	// The board-level accounting flows through the same Stepper the
+	// sequential runtime uses.
+	if got := rec.Counter(telemetry.BlackboardBits); got != int64(res.Stats.BoardBits) {
+		t.Errorf("recorded board bits %d, stats %d", got, res.Stats.BoardBits)
+	}
+	if got := rec.Counter(telemetry.BlackboardMessages); got != int64(res.Board.NumMessages()) {
+		t.Errorf("recorded messages %d, board has %d", got, res.Board.NumMessages())
+	}
+	var perPlayer int64
+	for i := 0; i < k; i++ {
+		perPlayer += rec.Counter(telemetry.Indexed(telemetry.BlackboardPlayer, i, "bits"))
+	}
+	if perPlayer != int64(res.Stats.BoardBits) {
+		t.Errorf("per-player bits sum to %d, want %d", perPlayer, res.Stats.BoardBits)
 	}
 }
 
-func (h *testHooks) PlayerCrashed(player int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.crashed = append(h.crashed, player)
-}
-
-func TestHooksObserveRun(t *testing.T) {
+func TestRecorderObservesRun(t *testing.T) {
 	inst, err := disj.GenerateDisjoint(rng.New(505), 48, 3, 0.3)
 	if err != nil {
 		t.Fatal(err)
@@ -377,24 +404,68 @@ func TestHooksObserveRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := &testHooks{}
+	rec := telemetry.NewCollector()
 	cfg := netrun.Config{
 		Faults: plan, Seed: 5, Timeout: 40 * time.Millisecond, MaxRetries: 10,
-		Hooks: h, Limits: proto.Limits(),
+		Recorder: rec, Limits: proto.Limits(),
 	}
 	res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.turns != res.Board.NumMessages() {
-		t.Fatalf("TurnCompleted fired %d times for %d messages", h.turns, res.Board.NumMessages())
+	if got := rec.Counter(telemetry.NetrunTurns); got != int64(res.Board.NumMessages()) {
+		t.Fatalf("recorded %d turns for %d messages", got, res.Board.NumMessages())
 	}
-	if h.faults != res.Stats.Faults {
-		t.Fatalf("hook tally %v, stats %v", h.faults, res.Stats.Faults)
+	if got := rec.Hist(telemetry.NetrunTurnNs).Count; got != int64(res.Board.NumMessages()) {
+		t.Fatalf("turn latency histogram has %d samples for %d messages", got, res.Board.NumMessages())
 	}
-	if len(h.crashed) != 0 {
-		t.Fatalf("spurious crash callbacks: %v", h.crashed)
+	if got := rec.Counter(telemetry.NetrunCrashes); got != 0 {
+		t.Fatalf("spurious crash count %d", got)
 	}
+	assertRecorderMatchesStats(t, rec, res, 3)
+}
+
+// TestRecorderMatchesStatsOnRepairPaths is the regression test for the
+// PR 2 hook inconsistency: corruption exercises the NACK path and drops
+// the known-loss immediate-retransmit path, both of which the old Hooks
+// missed. Retransmission counters must match the wire log exactly.
+func TestRecorderMatchesStatsOnRepairPaths(t *testing.T) {
+	inst, err := disj.GenerateDisjoint(rng.New(506), 64, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Parse("drop=0.1,corrupt=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewCollector()
+	res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
+		Faults: plan, Seed: 9, Timeout: 40 * time.Millisecond, MaxRetries: 12,
+		Recorder: rec, Limits: proto.Limits(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries int64
+	for _, ps := range res.Stats.PerPlayer {
+		retries += ps.Retries
+	}
+	if retries == 0 {
+		t.Fatal("fault mix produced no retransmissions; test is vacuous")
+	}
+	assertRecorderMatchesStats(t, rec, res, 4)
+
+	// Recording must not perturb the execution: the repaired networked
+	// transcript stays bit-identical to the sequential reference.
+	ref, err := disj.NewOptimalProtocol(inst, disj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBoard(t, seqFingerprint(t, ref, nil), res.Board)
 }
 
 // A crashed player must surface as a typed error with the partial
@@ -418,11 +489,11 @@ func TestPlayerCrash(t *testing.T) {
 	}
 
 	sched, players := newProto()
-	h := &testHooks{}
+	rec := telemetry.NewCollector()
 	cfg := netrun.Config{
 		Faults:  faults.Plan{CrashTurns: map[int]int{1: 1}},
 		Timeout: 30 * time.Millisecond, MaxRetries: 2,
-		Hooks: h,
+		Recorder: rec,
 	}
 	res, err := netrun.Run(sched, players, nil, cfg)
 	if !errors.Is(err, netrun.ErrPlayerCrashed) {
@@ -443,8 +514,8 @@ func TestPlayerCrash(t *testing.T) {
 	if res.Board.NumMessages() != 4 {
 		t.Fatalf("partial board has %d messages, want 4", res.Board.NumMessages())
 	}
-	if len(h.crashed) != 1 || h.crashed[0] != 1 {
-		t.Fatalf("PlayerCrashed hook saw %v", h.crashed)
+	if got := rec.Counter(telemetry.NetrunCrashes); got != 1 {
+		t.Fatalf("recorded crash count %d, want 1", got)
 	}
 
 	// Without the crash the same protocol completes.

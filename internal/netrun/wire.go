@@ -11,6 +11,7 @@ import (
 
 	"broadcastic/internal/blackboard"
 	"broadcastic/internal/faults"
+	"broadcastic/internal/telemetry"
 )
 
 // Frame kinds. A frame is the unit the delivery layer retransmits; the
@@ -160,7 +161,15 @@ type endpoint struct {
 	inj        *faults.Injector // nil when link faults are disabled
 	timeout    time.Duration
 	maxRetries int
-	notify     func(faults.Kind) // optional fault hook, may be nil
+
+	// rec mirrors every stats update into the run's Recorder (nil:
+	// disabled). The recorder is driven from the same statements that
+	// update the atomics — including the NACK, known-drop and timeout
+	// retransmission paths — so recorded counters and Stats never diverge.
+	// names holds the per-link metric names, precomputed so the recording
+	// path allocates nothing per event.
+	rec   telemetry.Recorder
+	names linkMetricNames
 
 	writeMu sync.Mutex // serializes raw.Send between data path and control path
 	sendSeq uint32     // owned by the sending goroutine
@@ -180,20 +189,76 @@ type endpoint struct {
 	stats endpointStats
 }
 
-func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, notify func(faults.Kind)) *endpoint {
+// linkMetricNames are the per-link metric names, precomputed at endpoint
+// construction; fault is indexed by faults.Kind.
+type linkMetricNames struct {
+	wireBits, retries, badFrames, dupFrames, ackNs string
+	fault                                          [faults.NumKinds]string
+}
+
+func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, rec telemetry.Recorder, link int) *endpoint {
 	ep := &endpoint{
 		raw:        raw,
 		inj:        inj,
 		timeout:    timeout,
 		maxRetries: maxRetries,
-		notify:     notify,
+		rec:        rec,
 		dataCh:     make(chan inbound, 256),
 		ackCh:      make(chan uint32, 64),
 		nackCh:     make(chan struct{}, 64),
 		closed:     make(chan struct{}),
 	}
+	if rec != nil {
+		ep.names = linkMetricNames{
+			wireBits:  telemetry.Indexed(telemetry.NetrunLink, link, "wire_bits"),
+			retries:   telemetry.Indexed(telemetry.NetrunLink, link, "retries"),
+			badFrames: telemetry.Indexed(telemetry.NetrunLink, link, "bad_frames"),
+			dupFrames: telemetry.Indexed(telemetry.NetrunLink, link, "dup_frames"),
+			ackNs:     telemetry.Indexed(telemetry.NetrunLink, link, "ack_ns"),
+		}
+		for k := 0; k < faults.NumKinds; k++ {
+			ep.names.fault[k] = telemetry.Indexed(telemetry.NetrunLink, link, "faults."+faults.Kind(k).String())
+		}
+	}
 	go ep.readLoop()
 	return ep
+}
+
+// recordWireBits, recordRetry, recordBad, recordDup and recordFault mirror
+// one stats update into the Recorder; each costs one branch when disabled.
+func (ep *endpoint) recordWireBits(bits int64) {
+	if ep.rec != nil {
+		ep.rec.Count(telemetry.NetrunWireBits, bits)
+		ep.rec.Count(ep.names.wireBits, bits)
+	}
+}
+
+func (ep *endpoint) recordRetry() {
+	if ep.rec != nil {
+		ep.rec.Count(telemetry.NetrunRetries, 1)
+		ep.rec.Count(ep.names.retries, 1)
+	}
+}
+
+func (ep *endpoint) recordBad() {
+	if ep.rec != nil {
+		ep.rec.Count(telemetry.NetrunBadFrames, 1)
+		ep.rec.Count(ep.names.badFrames, 1)
+	}
+}
+
+func (ep *endpoint) recordDup() {
+	if ep.rec != nil {
+		ep.rec.Count(telemetry.NetrunDupFrames, 1)
+		ep.rec.Count(ep.names.dupFrames, 1)
+	}
+}
+
+func (ep *endpoint) recordFault(kind faults.Kind) {
+	if ep.rec != nil {
+		ep.rec.Count(telemetry.NetrunFaults, 1)
+		ep.rec.Count(ep.names.fault[kind], 1)
+	}
 }
 
 // close severs the endpoint; pending sends and recvs unblock with errors.
@@ -217,6 +282,7 @@ func (ep *endpoint) readLoop() {
 		kind, seq, payload, ok := parseFrame(frame)
 		if !ok {
 			ep.stats.badFrames.Add(1)
+			ep.recordBad()
 			if !ep.nackPending {
 				ep.nackPending = true
 				ep.sendControl(frameNack, ep.recvSeq)
@@ -242,6 +308,7 @@ func (ep *endpoint) readLoop() {
 		ep.nackPending = false
 		if seq <= ep.recvSeq {
 			ep.stats.dupDropped.Add(1)
+			ep.recordDup()
 			continue
 		}
 		// Stop-and-wait: in-order delivery means the only acceptable new
@@ -266,6 +333,7 @@ func (ep *endpoint) sendControl(kind byte, seq uint32) {
 	ep.writeMu.Lock()
 	defer ep.writeMu.Unlock()
 	ep.stats.wireBits.Add(int64(8 * len(frame)))
+	ep.recordWireBits(int64(8 * len(frame)))
 	ep.raw.Send(frame) // best effort: a lost control frame surfaces as a send timeout upstream
 }
 
@@ -288,9 +356,14 @@ func (ep *endpoint) send(kind byte, payload []byte) error {
 	}
 	timeout := ep.timeout
 	maxTimeout := 8 * ep.timeout
+	var sendStart time.Time
+	if ep.rec != nil {
+		sendStart = time.Now()
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			ep.stats.retries.Add(1)
+			ep.recordRetry()
 		}
 		delivered, err := ep.sendRaw(frame, true)
 		if err != nil {
@@ -304,6 +377,12 @@ func (ep *endpoint) send(kind byte, payload []byte) error {
 				case ackSeq := <-ep.ackCh:
 					if ackSeq == seq {
 						timer.Stop()
+						if ep.rec != nil {
+							// Ack latency spans first transmission to the
+							// matching ack, retransmissions included.
+							ep.rec.Observe(telemetry.NetrunAckNs, float64(time.Since(sendStart)))
+							ep.rec.Observe(ep.names.ackNs, float64(time.Since(sendStart)))
+						}
 						return nil
 					}
 					// Stale ack for an earlier frame (e.g. from an injected
@@ -343,20 +422,17 @@ func (ep *endpoint) sendRaw(frame []byte, faultable bool) (delivered bool, err e
 		ep.writeMu.Lock()
 		defer ep.writeMu.Unlock()
 		ep.stats.wireBits.Add(bits)
+		ep.recordWireBits(bits)
 		return true, ep.raw.Send(frame)
 	}
 	d := ep.inj.Decide(len(frame) * 8)
 	if d.Delay > 0 {
-		if ep.notify != nil {
-			ep.notify(faults.Delay)
-		}
+		ep.recordFault(faults.Delay)
 		time.Sleep(d.Delay)
 	}
 	out := frame
 	if d.CorruptBit >= 0 {
-		if ep.notify != nil {
-			ep.notify(faults.Corrupt)
-		}
+		ep.recordFault(faults.Corrupt)
 		out = make([]byte, len(frame))
 		copy(out, frame)
 		out[d.CorruptBit/8] ^= 1 << uint(7-d.CorruptBit%8)
@@ -364,21 +440,20 @@ func (ep *endpoint) sendRaw(frame []byte, faultable bool) (delivered bool, err e
 	ep.writeMu.Lock()
 	defer ep.writeMu.Unlock()
 	if d.Drop {
-		if ep.notify != nil {
-			ep.notify(faults.Drop)
-		}
+		ep.recordFault(faults.Drop)
 		ep.stats.wireBits.Add(bits)
+		ep.recordWireBits(bits)
 		return false, nil
 	}
 	ep.stats.wireBits.Add(bits)
+	ep.recordWireBits(bits)
 	if err := ep.raw.Send(out); err != nil {
 		return false, err
 	}
 	if d.Duplicate {
-		if ep.notify != nil {
-			ep.notify(faults.Duplicate)
-		}
+		ep.recordFault(faults.Duplicate)
 		ep.stats.wireBits.Add(bits)
+		ep.recordWireBits(bits)
 		return true, ep.raw.Send(out)
 	}
 	return true, nil

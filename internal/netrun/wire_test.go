@@ -94,8 +94,8 @@ func newEndpointPair(t *testing.T, wrapA func(Link) Link, timeout time.Duration,
 	if wrapA != nil {
 		rawA = wrapA(rawA)
 	}
-	a := newEndpoint(rawA, nil, timeout, maxRetries, nil)
-	b := newEndpoint(players[0], nil, timeout, maxRetries, nil)
+	a := newEndpoint(rawA, nil, timeout, maxRetries, nil, 0)
+	b := newEndpoint(players[0], nil, timeout, maxRetries, nil, 0)
 	t.Cleanup(func() { a.close(); b.close() })
 	return a, b
 }

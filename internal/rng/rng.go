@@ -31,9 +31,19 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// gamma is the SplitMix64 state increment; gammaInv is its multiplicative
+// inverse mod 2^64 (gamma is odd, hence invertible). Because every output
+// advances the state by exactly gamma, the number of draws between two
+// observed states is (s2-s1)*gammaInv — which is what lets Mark/DrawsSince
+// count draws with zero bookkeeping on the generation path.
+const (
+	gamma    = 0x9e3779b97f4a7c15
+	gammaInv = 0xf1de83e19937733d
+)
+
 // splitmix64 advances a state word and returns the next output.
 func splitmix64(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
+	*state += gamma
 	z := *state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -43,6 +53,25 @@ func splitmix64(state *uint64) uint64 {
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	return splitmix64(&s.state)
+}
+
+// Mark is an opaque stream position captured by Source.Mark.
+type Mark struct {
+	state uint64
+}
+
+// Mark captures the stream's current position for later draw accounting.
+func (s *Source) Mark() Mark { return Mark{state: s.state} }
+
+// DrawsSince returns how many raw 64-bit outputs the stream has produced
+// since m was captured. Every generator method ultimately consumes Uint64
+// outputs (some, like Intn's rejection loop, a variable number), and each
+// output advances the state by the fixed odd constant gamma, so the count
+// is recovered arithmetically — the generation path itself keeps no
+// counter and pays nothing. Split/SplitN calls also consume one output
+// each, and are counted as such.
+func (s *Source) DrawsSince(m Mark) uint64 {
+	return (s.state - m.state) * gammaInv
 }
 
 // Split derives an independent child stream identified by index. The child

@@ -313,3 +313,29 @@ func BenchmarkIntn(b *testing.B) {
 		_ = s.Intn(1000)
 	}
 }
+
+func TestMarkDrawsSince(t *testing.T) {
+	s := New(42)
+	m := s.Mark()
+	if got := s.DrawsSince(m); got != 0 {
+		t.Fatalf("fresh mark reports %d draws", got)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Uint64()
+	}
+	if got := s.DrawsSince(m); got != 1000 {
+		t.Fatalf("DrawsSince = %d after 1000 draws", got)
+	}
+	// Derived draws (Intn may reject, Float64 draws once) are still counted
+	// exactly: the arithmetic recovers raw outputs, not call counts.
+	m2 := s.Mark()
+	s.Float64()
+	if got := s.DrawsSince(m2); got != 1 {
+		t.Fatalf("Float64 consumed %d raw draws, want 1", got)
+	}
+	m3 := s.Mark()
+	s.Split(7)
+	if got := s.DrawsSince(m3); got != 1 {
+		t.Fatalf("Split consumed %d raw draws, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // The parallel sweep engine.
@@ -18,6 +19,10 @@ import (
 //     on which goroutine runs it or when;
 //   - results come back in cell order (pool.Map), so tables are assembled
 //     in the same deterministic order regardless of completion order.
+//
+// With a Recorder installed (Config.Recorder) the engine additionally
+// reports each cell's wall time and the pool's worker utilization;
+// recording reads only the clock, so it cannot perturb any cell's output.
 
 // workers resolves the configured worker count (0 → one per CPU).
 func (c Config) workers() int { return pool.Workers(c.Workers) }
@@ -30,13 +35,24 @@ func sweep[T any](cfg Config, base *rng.Source, n int, fn func(cell int, src *rn
 	if base != nil {
 		streams = base.SplitN(n)
 	}
-	return pool.Map(cfg.workers(), n, func(i int) (T, error) {
+	cell := func(i int) (T, error) {
 		var src *rng.Source
 		if streams != nil {
 			src = streams[i]
 		}
 		return fn(i, src)
-	})
+	}
+	if cfg.Recorder != nil {
+		inner := cell
+		cell = func(i int) (T, error) {
+			span := telemetry.StartSpan(cfg.Recorder, telemetry.SimCellNs)
+			v, err := inner(i)
+			span.End()
+			cfg.Recorder.Count(telemetry.SimCells, 1)
+			return v, err
+		}
+	}
+	return pool.MapRecorded(cfg.workers(), n, cell, cfg.Recorder)
 }
 
 // sweepRows is sweep specialized to the common case of exactly one table

@@ -21,6 +21,7 @@ import (
 	"broadcastic/internal/prob"
 	"broadcastic/internal/radio"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 	"broadcastic/internal/twoparty"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// default) means one worker per CPU. The rendered tables are
 	// bit-identical for every value — see engine.go for why.
 	Workers int
+	// Recorder receives harness telemetry (per-cell wall time, pool
+	// utilization, and the board/estimator accounting of instrumented
+	// sub-runs); nil disables collection. Tables are bit-identical with
+	// any recorder installed — the serial-equivalence tests pin this.
+	Recorder telemetry.Recorder
 }
 
 func (c Config) scaleOK() error {
@@ -282,7 +288,7 @@ func E4AndInfoCost(cfg Config) (*Table, error) {
 			if err != nil {
 				return cellOut{}, err
 			}
-			est, err := core.EstimateCICWorkers(spec, mu, src, samples, cfg.workers())
+			est, err := core.EstimateCICRecorded(spec, mu, src, samples, cfg.workers(), cfg.Recorder)
 			if err != nil {
 				return cellOut{}, err
 			}
@@ -497,7 +503,7 @@ func E7InfoCommGap(cfg Config) (*Table, error) {
 			if err != nil {
 				return cellOut{}, err
 			}
-			cicEst, err := core.EstimateCICWorkers(spec, mu, src.Split(0), samples, cfg.workers())
+			cicEst, err := core.EstimateCICRecorded(spec, mu, src.Split(0), samples, cfg.workers(), cfg.Recorder)
 			if err != nil {
 				return cellOut{}, err
 			}
@@ -1430,10 +1436,11 @@ func E20NetworkedOverhead(cfg Config) (*Table, error) {
 			// wire statistics are seed-deterministic regardless of machine
 			// load (the worker-invariance contract).
 			res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
-				Faults:  plan,
-				Seed:    src.Uint64(),
-				Timeout: time.Second,
-				Limits:  proto.Limits(),
+				Faults:   plan,
+				Seed:     src.Uint64(),
+				Timeout:  time.Second,
+				Limits:   proto.Limits(),
+				Recorder: cfg.Recorder,
 			})
 			if err != nil {
 				return nil, err
@@ -1472,21 +1479,40 @@ func E20NetworkedOverhead(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Experiment is one registered experiment: its EXPERIMENTS.md ID and the
+// function that renders its table.
+type Experiment struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// Experiments returns the full registry in E1..E20 order. The slice is
+// freshly allocated; callers may filter or reorder it. The registry is the
+// single source of truth shared by All, cmd/experiments and the root
+// benchmark/telemetry harness.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"E1", E1DisjScalingN}, {"E2", E2DisjScalingK},
+		{"E3", E3NaiveVsOptimal}, {"E4", E4AndInfoCost},
+		{"E5", E5DirectSum}, {"E6", E6TruncatedError},
+		{"E7", E7InfoCommGap}, {"E8", E8GoodTranscripts},
+		{"E9", E9PosteriorPointing}, {"E10", E10RejectionSampler},
+		{"E11", E11AmortizedCompression}, {"E12", E12DivergenceBound},
+		{"E13", E13SparseIntersection}, {"E14", E14Ablations},
+		{"E15", E15TwoPartyBaseline}, {"E16", E16CostBreakdown},
+		{"E17", E17PointwiseOr}, {"E18", E18InternalVsExternal},
+		{"E19", E19WirelessContention}, {"E20", E20NetworkedOverhead},
+	}
+}
+
 // All runs every experiment and returns the tables in E1..E20 order. The
 // experiments themselves run concurrently on the configured worker pool
 // (each one also parallelizes its own sweep); every experiment seeds its
 // randomness independently from cfg.Seed, so the tables are identical to a
 // serial run.
 func All(cfg Config) ([]*Table, error) {
-	funcs := []func(Config) (*Table, error){
-		E1DisjScalingN, E2DisjScalingK, E3NaiveVsOptimal, E4AndInfoCost,
-		E5DirectSum, E6TruncatedError, E7InfoCommGap, E8GoodTranscripts,
-		E9PosteriorPointing, E10RejectionSampler, E11AmortizedCompression,
-		E12DivergenceBound, E13SparseIntersection, E14Ablations,
-		E15TwoPartyBaseline, E16CostBreakdown, E17PointwiseOr,
-		E18InternalVsExternal, E19WirelessContention, E20NetworkedOverhead,
-	}
-	return pool.Map(cfg.workers(), len(funcs), func(i int) (*Table, error) {
-		return funcs[i](cfg)
+	exps := Experiments()
+	return pool.Map(cfg.workers(), len(exps), func(i int) (*Table, error) {
+		return exps[i].Run(cfg)
 	})
 }

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"broadcastic/internal/telemetry"
+)
+
+// renderWith runs an experiment with the given recorder and returns the
+// rendered table bytes.
+func renderWith(t *testing.T, f func(Config) (*Table, error), workers int, rec telemetry.Recorder) string {
+	t.Helper()
+	cfg := Config{Seed: 7, Scale: Quick, Workers: workers, Recorder: rec}
+	tbl, err := f(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTelemetryEquivalence is the observability contract: installing a
+// recorder changes no output bit. The same experiments exercised by
+// TestSerialEquivalence must render byte-identical tables with a nil
+// recorder and with a live collector, serially and in parallel — and E20
+// additionally covers the networked runtime's recorder path.
+func TestTelemetryEquivalence(t *testing.T) {
+	experiments := []struct {
+		id string
+		f  func(Config) (*Table, error)
+	}{
+		{"E1", E1DisjScalingN},
+		{"E4", E4AndInfoCost},
+		{"E10", E10RejectionSampler},
+		{"E20", E20NetworkedOverhead},
+	}
+	for _, e := range experiments {
+		bare := renderWith(t, e.f, 1, nil)
+		if len(bare) == 0 {
+			t.Fatalf("%s: empty render", e.id)
+		}
+		for _, workers := range []int{1, 4} {
+			rec := telemetry.NewCollector()
+			if got := renderWith(t, e.f, workers, rec); got != bare {
+				t.Fatalf("%s: table with recorder (workers=%d) differs from bare table:\n--- bare ---\n%s--- recorded ---\n%s",
+					e.id, workers, bare, got)
+			}
+			// The equivalence must not be vacuous: the engine recorded cells.
+			if cells := rec.Counter(telemetry.SimCells); cells == 0 {
+				t.Fatalf("%s: recorder saw no cells (workers=%d)", e.id, workers)
+			}
+			if rec.Hist(telemetry.PoolWallNs).Count == 0 {
+				t.Fatalf("%s: recorder saw no pool runs (workers=%d)", e.id, workers)
+			}
+		}
+	}
+}
+
+// TestTelemetrySnapshotConsistency cross-checks the estimator counters
+// against the experiment's known structure: every recorded shard ran under
+// a span, and sample counts are multiples of what a cell requests.
+func TestTelemetrySnapshotConsistency(t *testing.T) {
+	rec := telemetry.NewCollector()
+	if _, err := E4AndInfoCost(Config{Seed: 7, Scale: Quick, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	shards := rec.Counter(telemetry.CoreCICShards)
+	if shards == 0 {
+		t.Fatal("E4 recorded no estimator shards")
+	}
+	if got := rec.Hist(telemetry.CoreCICShardNs).Count; got != shards {
+		t.Fatalf("shard wall-time histogram has %d samples for %d shards", got, shards)
+	}
+	if samples := rec.Counter(telemetry.CoreCICSamples); samples < shards {
+		t.Fatalf("recorded %d samples over %d shards", samples, shards)
+	}
+}

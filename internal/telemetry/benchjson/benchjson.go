@@ -1,0 +1,361 @@
+// Package benchjson is the machine-readable benchmark exchange format of
+// this repository: a stable JSON schema (BENCH_<name>.json) that the root
+// benchmark suite, cmd/experiments -telemetry and the CI bench gate all
+// speak. One schema means one trajectory: every perf PR appends a point
+// that is directly comparable with the committed baseline, and the CI gate
+// (cmd/benchgate) can refuse regressions mechanically.
+//
+// Schema stability contract: SchemaVersion is bumped on any incompatible
+// change, Decode rejects files from a different major schema, and the
+// round-trip Encode→Decode is tested to be lossless. New optional fields
+// may be added without a version bump; consumers must ignore unknown keys.
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the current schema. Decode accepts only files
+// carrying this version.
+const SchemaVersion = 1
+
+// File is one benchmark run: environment metadata plus one Entry per
+// measured operation.
+type File struct {
+	SchemaVersion int `json:"schema_version"`
+	// GeneratedAt is an RFC3339 timestamp; informational only (Compare
+	// ignores it).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// GitSHA is the commit the run was built from (see ResolveGitSHA).
+	GitSHA    string `json:"git_sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Host is a coarse hardware fingerprint (goos/goarch/ncpu). Compare
+	// downgrades regressions to warnings across differing fingerprints:
+	// absolute ns/op from different hardware are not comparable, and the
+	// committed baseline is refreshed on CI hardware (see README).
+	Host string `json:"host_fingerprint"`
+	// Scale and Workers are the knobs the run was taken at
+	// (BROADCASTIC_SCALE, BROADCASTIC_WORKERS); entries from different
+	// scales are never comparable, so Compare refuses mismatches.
+	Scale   string  `json:"scale"`
+	Workers int     `json:"workers"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one measured operation, aggregated over Samples runs.
+type Entry struct {
+	// Name is the op name, e.g. "BenchmarkE1_DisjScalingN".
+	Name string `json:"name"`
+	// Iterations is the total op count across all samples.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the mean wall time per op across samples.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MinNsPerOp is the fastest sample's ns/op — the noise-floor number
+	// regression gates prefer.
+	MinNsPerOp float64 `json:"min_ns_per_op,omitempty"`
+	// BitsPerOp is the recorded communication per op (board bits plus
+	// wire bits where the networked runtime ran); 0 when the op exercises
+	// no instrumented protocol layer.
+	BitsPerOp float64 `json:"bits_per_op,omitempty"`
+	// AllocsPerOp is the heap allocation count per op.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Samples is how many runs were aggregated (benchtime -count).
+	Samples int `json:"samples,omitempty"`
+	// Metrics carries the full telemetry snapshot of the run (counter
+	// values and histogram means, per telemetry.Collector.Snapshot),
+	// normalized per op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// HostFingerprint returns the coarse hardware identity recorded in File.Host.
+func HostFingerprint() string {
+	return fmt.Sprintf("%s/%s/ncpu=%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// New returns a File with the environment metadata filled in; the caller
+// appends entries and sets GeneratedAt/GitSHA as available.
+func New(scale string, workers int) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        ResolveGitSHA(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Host:          HostFingerprint(),
+		Scale:         scale,
+		Workers:       workers,
+	}
+}
+
+// ResolveGitSHA best-effort resolves the current commit without invoking
+// git: GITHUB_SHA (set by Actions), then BROADCASTIC_GIT_SHA, then a walk
+// up from the working directory reading .git/HEAD. Returns "" when
+// unresolvable.
+func ResolveGitSHA() string {
+	for _, env := range []string{"GITHUB_SHA", "BROADCASTIC_GIT_SHA"} {
+		if sha := os.Getenv(env); sha != "" {
+			return sha
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+		if err == nil {
+			ref := strings.TrimSpace(string(head))
+			if sha, ok := strings.CutPrefix(ref, "ref: "); ok {
+				b, err := os.ReadFile(filepath.Join(dir, ".git", filepath.FromSlash(sha)))
+				if err != nil {
+					return ""
+				}
+				return strings.TrimSpace(string(b))
+			}
+			return ref
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// AddEntry appends e, keeping Entries sorted by name so encoded files are
+// deterministic and diff-friendly.
+func (f *File) AddEntry(e Entry) {
+	i := sort.Search(len(f.Entries), func(i int) bool { return f.Entries[i].Name >= e.Name })
+	f.Entries = append(f.Entries, Entry{})
+	copy(f.Entries[i+1:], f.Entries[i:])
+	f.Entries[i] = e
+}
+
+// Entry returns the named entry, or nil.
+func (f *File) Entry(name string) *Entry {
+	for i := range f.Entries {
+		if f.Entries[i].Name == name {
+			return &f.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the invariants Decode enforces.
+func (f *File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchjson: schema version %d, this build reads %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.Scale == "" {
+		return fmt.Errorf("benchjson: missing scale")
+	}
+	seen := make(map[string]bool, len(f.Entries))
+	for i, e := range f.Entries {
+		if e.Name == "" {
+			return fmt.Errorf("benchjson: entry %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("benchjson: duplicate entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Iterations < 0 || e.NsPerOp < 0 {
+			return fmt.Errorf("benchjson: entry %q has negative measurements", e.Name)
+		}
+	}
+	return nil
+}
+
+// Encode writes f as stable, indented JSON (entries sorted by name).
+func Encode(w io.Writer, f *File) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	sorted := *f
+	sorted.Entries = append([]Entry(nil), f.Entries...)
+	sort.Slice(sorted.Entries, func(i, j int) bool { return sorted.Entries[i].Name < sorted.Entries[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&sorted)
+}
+
+// Decode reads and validates one File.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// WriteFile encodes f to path atomically (write temp, rename).
+func WriteFile(path string, f *File) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile decodes the File at path.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(bytes.NewReader(b))
+}
+
+// Verdict classifies one baseline/current entry pair.
+type Verdict int
+
+// Verdicts, from benign to blocking.
+const (
+	OK          Verdict = iota
+	Improvement         // faster than baseline beyond the threshold
+	Missing             // present in baseline, absent in current (or vice versa)
+	Warning             // regression beyond threshold, but not blocking (cross-host, or op not gated)
+	Regression          // blocking regression on a gated op
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Improvement:
+		return "improvement"
+	case Missing:
+		return "missing"
+	case Warning:
+		return "warning"
+	case Regression:
+		return "REGRESSION"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Finding is one per-entry comparison result.
+type Finding struct {
+	Name     string
+	Verdict  Verdict
+	Ratio    float64 // current/baseline ns/op (0 when not comparable)
+	Baseline float64 // baseline ns/op
+	Current  float64 // current ns/op
+	Note     string
+}
+
+// CompareOptions tunes Compare.
+type CompareOptions struct {
+	// MaxRegress is the blocking ns/op ratio slack: current > baseline ×
+	// (1+MaxRegress) on a gated op is a Regression. Default 0.25.
+	MaxRegress float64
+	// Gated selects the ops whose regressions block (nil: all ops gated).
+	Gated func(name string) bool
+	// CompareMin gates on MinNsPerOp instead of mean ns/op when both
+	// sides carry it — the benchstat-style noise-floor comparison.
+	CompareMin bool
+}
+
+// Report is the outcome of a Compare.
+type Report struct {
+	Findings []Finding
+	// SameHost is false when the two files carry different hardware
+	// fingerprints, in which case every regression is downgraded to a
+	// warning (cross-hardware ns/op is not a signal).
+	SameHost bool
+}
+
+// Blocking returns the findings that should fail a CI gate.
+func (r *Report) Blocking() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Verdict == Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Compare evaluates current against baseline. It errors on scale
+// mismatches (entries from different parameter grids measure different
+// work); all other asymmetries become findings.
+func Compare(baseline, current *File, opts CompareOptions) (*Report, error) {
+	if baseline.Scale != current.Scale {
+		return nil, fmt.Errorf("benchjson: scale mismatch: baseline %q, current %q", baseline.Scale, current.Scale)
+	}
+	if opts.MaxRegress <= 0 {
+		opts.MaxRegress = 0.25
+	}
+	rep := &Report{SameHost: baseline.Host == current.Host}
+	names := make(map[string]bool)
+	for _, e := range baseline.Entries {
+		names[e.Name] = true
+	}
+	for _, e := range current.Entries {
+		names[e.Name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		b, c := baseline.Entry(name), current.Entry(name)
+		switch {
+		case b == nil:
+			rep.Findings = append(rep.Findings, Finding{Name: name, Verdict: Missing, Note: "not in baseline (new op?)"})
+			continue
+		case c == nil:
+			rep.Findings = append(rep.Findings, Finding{Name: name, Verdict: Missing, Note: "not in current run (op removed?)"})
+			continue
+		}
+		bNs, cNs := b.NsPerOp, c.NsPerOp
+		if opts.CompareMin && b.MinNsPerOp > 0 && c.MinNsPerOp > 0 {
+			bNs, cNs = b.MinNsPerOp, c.MinNsPerOp
+		}
+		f := Finding{Name: name, Baseline: bNs, Current: cNs}
+		if bNs <= 0 {
+			f.Verdict = Warning
+			f.Note = "baseline has no timing"
+			rep.Findings = append(rep.Findings, f)
+			continue
+		}
+		f.Ratio = cNs / bNs
+		switch {
+		case f.Ratio > 1+opts.MaxRegress:
+			f.Verdict = Regression
+			switch {
+			case !rep.SameHost:
+				f.Verdict = Warning
+				f.Note = "cross-hardware comparison; not blocking"
+			case opts.Gated != nil && !opts.Gated(name):
+				f.Verdict = Warning
+				f.Note = "op not gated; not blocking"
+			}
+		case f.Ratio < 1-opts.MaxRegress:
+			f.Verdict = Improvement
+		default:
+			f.Verdict = OK
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep, nil
+}

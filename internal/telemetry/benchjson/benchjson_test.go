@@ -1,0 +1,253 @@
+package benchjson
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	f := New("quick", 4)
+	f.GeneratedAt = "2026-08-05T00:00:00Z"
+	f.GitSHA = "deadbeef"
+	f.AddEntry(Entry{
+		Name:        "BenchmarkE1_DisjScalingN",
+		Iterations:  3,
+		NsPerOp:     1.5e6,
+		MinNsPerOp:  1.4e6,
+		AllocsPerOp: 120,
+		Samples:     3,
+		Metrics:     map[string]float64{"sim.cells": 12},
+	})
+	f.AddEntry(Entry{
+		Name:       "BenchmarkE20_NetworkedOverhead",
+		Iterations: 3,
+		NsPerOp:    9e6,
+		MinNsPerOp: 8.5e6,
+		BitsPerOp:  4096,
+		Samples:    3,
+	})
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", f, got)
+	}
+}
+
+func TestEncodeSortsEntries(t *testing.T) {
+	f := sampleFile()
+	// Force out-of-order entries; Encode must still emit sorted output
+	// without mutating the caller's slice header contents.
+	f.Entries[0], f.Entries[1] = f.Entries[1], f.Entries[0]
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !sort.SliceIsSorted(got.Entries, func(i, j int) bool { return got.Entries[i].Name < got.Entries[j].Name }) {
+		t.Fatalf("decoded entries not sorted: %+v", got.Entries)
+	}
+}
+
+func TestDecodeRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema":    `{"schema_version": 99, "scale": "quick", "entries": []}`,
+		"missing scale":   `{"schema_version": 1, "entries": []}`,
+		"unnamed entry":   `{"schema_version": 1, "scale": "quick", "entries": [{"iterations": 1}]}`,
+		"duplicate entry": `{"schema_version": 1, "scale": "quick", "entries": [{"name": "A"}, {"name": "A"}]}`,
+		"negative ns":     `{"schema_version": 1, "scale": "quick", "entries": [{"name": "A", "ns_per_op": -1}]}`,
+		"not json":        `benchmarks were fine, trust me`,
+	}
+	for name, body := range cases {
+		if _, err := Decode(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	f := sampleFile()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("ReadFile on a missing path returned nil error")
+	}
+}
+
+func TestResolveGitSHAFromEnv(t *testing.T) {
+	t.Setenv("GITHUB_SHA", "cafef00d")
+	if got := ResolveGitSHA(); got != "cafef00d" {
+		t.Fatalf("ResolveGitSHA = %q, want cafef00d", got)
+	}
+}
+
+func TestResolveGitSHAFromHead(t *testing.T) {
+	t.Setenv("GITHUB_SHA", "")
+	t.Setenv("BROADCASTIC_GIT_SHA", "")
+	dir := t.TempDir()
+	gitDir := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(filepath.Join(gitDir, "refs", "heads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(gitDir, "HEAD"), []byte("ref: refs/heads/main\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(gitDir, "refs", "heads", "main"), []byte("0123abcd\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Run from a nested directory to exercise the upward walk.
+	nested := filepath.Join(dir, "internal", "deep")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(cwd) })
+	if err := os.Chdir(nested); err != nil {
+		t.Fatal(err)
+	}
+	if got := ResolveGitSHA(); got != "0123abcd" {
+		t.Fatalf("ResolveGitSHA = %q, want 0123abcd", got)
+	}
+	// Detached HEAD stores the SHA directly.
+	if err := os.WriteFile(filepath.Join(gitDir, "HEAD"), []byte("fedc9876\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := ResolveGitSHA(); got != "fedc9876" {
+		t.Fatalf("detached ResolveGitSHA = %q, want fedc9876", got)
+	}
+}
+
+func compareFiles(t *testing.T, baseNs, curNs float64, mutate func(b, c *File)) *Report {
+	t.Helper()
+	base := New("quick", 4)
+	base.AddEntry(Entry{Name: "BenchmarkX", Iterations: 1, NsPerOp: baseNs})
+	cur := New("quick", 4)
+	cur.AddEntry(Entry{Name: "BenchmarkX", Iterations: 1, NsPerOp: curNs})
+	if mutate != nil {
+		mutate(base, cur)
+	}
+	rep, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	return rep
+}
+
+func soleVerdict(t *testing.T, rep *Report) Finding {
+	t.Helper()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want 1 finding, got %+v", rep.Findings)
+	}
+	return rep.Findings[0]
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	if f := soleVerdict(t, compareFiles(t, 100, 110, nil)); f.Verdict != OK {
+		t.Errorf("+10%%: verdict %v, want ok", f.Verdict)
+	}
+	if f := soleVerdict(t, compareFiles(t, 100, 130, nil)); f.Verdict != Regression {
+		t.Errorf("+30%%: verdict %v, want REGRESSION", f.Verdict)
+	}
+	if f := soleVerdict(t, compareFiles(t, 100, 70, nil)); f.Verdict != Improvement {
+		t.Errorf("-30%%: verdict %v, want improvement", f.Verdict)
+	}
+	rep := compareFiles(t, 100, 130, func(b, c *File) { c.Host = b.Host + "-other" })
+	if f := soleVerdict(t, rep); f.Verdict != Warning || rep.SameHost {
+		t.Errorf("cross-host +30%%: verdict %v (sameHost=%v), want warning", f.Verdict, rep.SameHost)
+	}
+	if got := len(compareFiles(t, 100, 130, nil).Blocking()); got != 1 {
+		t.Errorf("Blocking() = %d findings, want 1", got)
+	}
+	if got := len(compareFiles(t, 100, 110, nil).Blocking()); got != 0 {
+		t.Errorf("Blocking() on an ok report = %d findings, want 0", got)
+	}
+}
+
+func TestCompareMissingEntries(t *testing.T) {
+	rep := compareFiles(t, 100, 100, func(b, c *File) {
+		b.AddEntry(Entry{Name: "BenchmarkRemoved", NsPerOp: 5})
+		c.AddEntry(Entry{Name: "BenchmarkAdded", NsPerOp: 5})
+	})
+	missing := 0
+	for _, f := range rep.Findings {
+		if f.Verdict == Missing {
+			missing++
+		}
+	}
+	if missing != 2 {
+		t.Fatalf("want 2 missing findings, got %+v", rep.Findings)
+	}
+	if len(rep.Blocking()) != 0 {
+		t.Fatal("missing entries must warn, not block")
+	}
+}
+
+func TestCompareGatedOps(t *testing.T) {
+	base := New("quick", 4)
+	base.AddEntry(Entry{Name: "BenchmarkGated", Iterations: 1, NsPerOp: 100})
+	base.AddEntry(Entry{Name: "BenchmarkFree", Iterations: 1, NsPerOp: 100})
+	cur := New("quick", 4)
+	cur.AddEntry(Entry{Name: "BenchmarkGated", Iterations: 1, NsPerOp: 200})
+	cur.AddEntry(Entry{Name: "BenchmarkFree", Iterations: 1, NsPerOp: 200})
+	rep, err := Compare(base, cur, CompareOptions{Gated: func(name string) bool { return name == "BenchmarkGated" }})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	blocking := rep.Blocking()
+	if len(blocking) != 1 || blocking[0].Name != "BenchmarkGated" {
+		t.Fatalf("want only BenchmarkGated blocking, got %+v", blocking)
+	}
+}
+
+func TestCompareMinNsPerOp(t *testing.T) {
+	base := New("quick", 4)
+	base.AddEntry(Entry{Name: "BenchmarkX", Iterations: 1, NsPerOp: 100, MinNsPerOp: 90})
+	cur := New("quick", 4)
+	// Mean regressed 40% (noise) but the floor moved only 5%.
+	cur.AddEntry(Entry{Name: "BenchmarkX", Iterations: 1, NsPerOp: 140, MinNsPerOp: 94.5})
+	rep, err := Compare(base, cur, CompareOptions{CompareMin: true})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if f := soleVerdict(t, rep); f.Verdict != OK {
+		t.Fatalf("min-comparison verdict %v (ratio %.2f), want ok", f.Verdict, f.Ratio)
+	}
+}
+
+func TestCompareScaleMismatch(t *testing.T) {
+	base := New("quick", 4)
+	cur := New("full", 4)
+	if _, err := Compare(base, cur, CompareOptions{}); err == nil {
+		t.Fatal("Compare accepted mismatched scales")
+	}
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+// Canonical metric names emitted by the instrumented layers. Each layer
+// documents its own semantics next to the emission site; this block is the
+// single index consumers (exporters, tests, dashboards) key against.
+const (
+	// Sequential blackboard runtime (internal/blackboard). Per-player bits
+	// use Indexed(BlackboardPlayer, i, "bits").
+	BlackboardMessages    = "blackboard.messages"     // counter: messages appended
+	BlackboardBits        = "blackboard.bits"         // counter: protocol bits written
+	BlackboardRounds      = "blackboard.rounds"       // histogram: messages per completed run
+	BlackboardRunBits     = "blackboard.run_bits"     // histogram: bits per completed run
+	BlackboardPublicDraws = "blackboard.public_draws" // histogram: public-RNG draws per completed run
+	BlackboardPlayer      = "blackboard.player"       // per-player prefix
+
+	// Concurrent networked runtime (internal/netrun). Per-link metrics use
+	// Indexed(NetrunLink, player, field) with fields "wire_bits",
+	// "retries", "bad_frames", "dup_frames".
+	NetrunTurns     = "netrun.turns"      // counter: turns completed
+	NetrunWireBits  = "netrun.wire_bits"  // counter: bits on all links, both directions
+	NetrunRetries   = "netrun.retries"    // counter: retransmission attempts beyond the first send
+	NetrunBadFrames = "netrun.bad_frames" // counter: frames discarded for checksum/layout failure
+	NetrunDupFrames = "netrun.dup_frames" // counter: duplicate frames discarded by seq check
+	NetrunFaults    = "netrun.faults"     // counter: injected link faults (all kinds)
+	NetrunCrashes   = "netrun.crashes"    // counter: players crashed
+	NetrunAckNs     = "netrun.ack_ns"     // histogram: data-frame send-to-ack latency
+	NetrunTurnNs    = "netrun.turn_ns"    // histogram: turn announcement-to-delivery latency
+	NetrunLink      = "netrun.link"       // per-link prefix
+
+	// Experiment harness (internal/sim) and worker pool (internal/pool).
+	SimCells         = "sim.cells"           // counter: sweep cells evaluated
+	SimCellNs        = "sim.cell_ns"         // histogram: wall time per sweep cell
+	PoolRuns         = "pool.runs"           // counter: recorded pool invocations
+	PoolWallNs       = "pool.wall_ns"        // histogram: wall time per pool invocation
+	PoolWorkerBusyNs = "pool.worker_busy_ns" // histogram: per-worker busy time
+	PoolUtilization  = "pool.utilization"    // histogram: busy/(workers*wall) per invocation
+
+	// Estimators (internal/core).
+	CoreCICSamples = "core.cic.samples"  // counter: Monte-Carlo samples drawn
+	CoreCICShards  = "core.cic.shards"   // counter: estimator shards evaluated
+	CoreCICShardNs = "core.cic.shard_ns" // histogram: wall time per shard
+)

@@ -1,0 +1,88 @@
+// Package telemetry is the repository's zero-dependency instrumentation
+// layer: named counters, histograms and span-style timings that the three
+// execution layers (the sequential blackboard runtime, the concurrent
+// networked runtime, and the experiment harness) report into a single
+// Recorder.
+//
+// The paper this repository reproduces is about *accounting* — where the
+// bits of a protocol go, per player and per round (Braverman & Oshman,
+// PODC'15) — and the related message-passing literature accounts per link.
+// This package makes that accounting observable at runtime without
+// perturbing it: recording is strictly opt-in, every instrumented call
+// site goes through the nil-safe package helpers below, and a nil Recorder
+// costs exactly one predictable branch. The conformance suites pin that an
+// enabled Recorder changes no transcript, table or experiment output bit.
+//
+// Metric names are dot-separated paths (e.g. "blackboard.bits",
+// "netrun.link.3.wire_bits"); per-entity metrics embed the entity index so
+// a flat snapshot still reads as a breakdown. The canonical names emitted
+// by the instrumented layers are declared in names.go.
+package telemetry
+
+import (
+	"strconv"
+	"time"
+)
+
+// Recorder collects instrumentation events. Implementations must be safe
+// for concurrent use: the networked runtime records from the coordinator
+// and every player goroutine, and the experiment engine records from every
+// pool worker.
+//
+// All call sites in this repository go through the nil-safe package
+// helpers (Count, Observe, StartSpan), so a nil Recorder disables
+// collection at the cost of one branch per event.
+type Recorder interface {
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Observe adds one sample to the named histogram.
+	Observe(name string, value float64)
+}
+
+// Count adds delta to the named counter, or does nothing when r is nil.
+func Count(r Recorder, name string, delta int64) {
+	if r != nil {
+		r.Count(name, delta)
+	}
+}
+
+// Observe adds one histogram sample, or does nothing when r is nil.
+func Observe(r Recorder, name string, value float64) {
+	if r != nil {
+		r.Observe(name, value)
+	}
+}
+
+// Span is an in-flight timed region started by StartSpan. The zero Span
+// (from a nil Recorder) is inert: End returns immediately.
+type Span struct {
+	rec   Recorder
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a timed region that End reports as a histogram sample
+// of nanoseconds under the span's name. With a nil Recorder it returns the
+// inert zero Span without reading the clock.
+func StartSpan(r Recorder, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, name: name, start: time.Now()}
+}
+
+// End closes the span, recording its duration in nanoseconds.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Observe(s.name, float64(time.Since(s.start)))
+}
+
+// Indexed renders a per-entity metric name, e.g. Indexed("netrun.link",
+// 3, "wire_bits") -> "netrun.link.3.wire_bits". Only recording paths call
+// it, so the formatting cost is paid exclusively when a Recorder is
+// installed.
+func Indexed(prefix string, index int, field string) string {
+	return prefix + "." + strconv.Itoa(index) + "." + field
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafeHelpers(t *testing.T) {
+	// Must not panic and must not record anywhere.
+	Count(nil, "x", 1)
+	Observe(nil, "x", 1)
+	s := StartSpan(nil, "x")
+	s.End()
+	if !s.start.IsZero() {
+		t.Fatal("nil-recorder span read the clock")
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	Count(c, "a", 2)
+	Count(c, "a", 3)
+	Count(c, "b", -1)
+	if got := c.Counter("a"); got != 5 {
+		t.Fatalf("counter a = %d, want 5", got)
+	}
+	if got := c.Counter("b"); got != -1 {
+		t.Fatalf("counter b = %d, want -1", got)
+	}
+	if got := c.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestCollectorHistogram(t *testing.T) {
+	c := NewCollector()
+	for _, v := range []float64{1, 2, 3, 10} {
+		Observe(c, "h", v)
+	}
+	h := c.Hist("h")
+	if h.Count != 4 || h.Sum != 16 || h.Min != 1 || h.Max != 10 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Mean() != 4 {
+		t.Fatalf("mean = %v, want 4", h.Mean())
+	}
+	if (HistSummary{}).Mean() != 0 {
+		t.Fatal("empty histogram mean should be 0")
+	}
+}
+
+func TestCollectorSnapshotAndReset(t *testing.T) {
+	c := NewCollector()
+	Count(c, "a", 7)
+	Observe(c, "h", 2)
+	Observe(c, "h", 4)
+	snap := c.Snapshot()
+	if snap["a"] != 7 || snap["h"] != 3 || snap["h.count"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	c.Reset()
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Fatalf("snapshot after reset = %v", got)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Count("n", 1)
+				c.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("n"); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := c.Hist("h").Count; got != 8000 {
+		t.Fatalf("concurrent hist count = %d, want 8000", got)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	c := NewCollector()
+	s := StartSpan(c, "span")
+	time.Sleep(time.Millisecond)
+	s.End()
+	h := c.Hist("span")
+	if h.Count != 1 || h.Sum < float64(time.Millisecond) {
+		t.Fatalf("span hist = %+v", h)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	if got := Indexed("netrun.link", 3, "wire_bits"); got != "netrun.link.3.wire_bits" {
+		t.Fatalf("Indexed = %q", got)
+	}
+}
+
+func TestCollectorWriteTo(t *testing.T) {
+	c := NewCollector()
+	Count(c, "a.counter", 5)
+	Observe(c, "b.hist", 2)
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a.counter") || !strings.Contains(out, "b.hist") {
+		t.Fatalf("dump missing entries:\n%s", out)
+	}
+}
+
+func TestProfilesCapture(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiles{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		TraceFile:  filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{p.CPUProfile, p.MemProfile, p.TraceFile} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestProfilesFlags(t *testing.T) {
+	var p Profiles
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p.AddFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-tracefile", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "a" || p.MemProfile != "b" || p.TraceFile != "c" {
+		t.Fatalf("parsed = %+v", p)
+	}
+	// No files requested: Start/stop are no-ops.
+	var none Profiles
+	stop, err := none.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

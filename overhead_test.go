@@ -1,0 +1,76 @@
+package broadcastic_test
+
+// The disabled-telemetry overhead guard. Instrumentation is threaded
+// through the hot paths (blackboard delivery, netrun wire handling, pool
+// scheduling) behind a single branch or an interface call; this test pins
+// the contract that a recorder that does nothing costs (nearly) nothing,
+// so telemetry can stay compiled in unconditionally.
+
+import (
+	"testing"
+	"time"
+
+	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+)
+
+// noopRecorder is a live Recorder that discards everything: the worst
+// case for the disabled path, since every instrumentation site takes its
+// branch and pays the dynamic dispatch.
+type noopRecorder struct{}
+
+func (noopRecorder) Count(string, int64)     {}
+func (noopRecorder) Observe(string, float64) {}
+
+// minRunNs interleaves rounds of E1 under both recorders and returns the
+// fastest observed wall time for each. Min-of-N against an interleaved
+// schedule is the standard defense against clock noise and thermal drift:
+// the minimum estimates the true cost with the scheduler's interference
+// stripped out.
+func minRunNs(t *testing.T, rounds int) (nilNs, noopNs time.Duration) {
+	t.Helper()
+	nilNs, noopNs = time.Duration(1<<62), time.Duration(1<<62)
+	run := func(rec telemetry.Recorder) time.Duration {
+		cfg := sim.Config{Seed: 1, Scale: sim.Quick, Workers: 1, Recorder: rec}
+		start := time.Now()
+		if _, err := sim.E1DisjScalingN(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < rounds; i++ {
+		if d := run(nil); d < nilNs {
+			nilNs = d
+		}
+		if d := run(noopRecorder{}); d < noopNs {
+			noopNs = d
+		}
+	}
+	return nilNs, noopNs
+}
+
+// TestNoopRecorderOverhead asserts the <2% disabled-path budget on the E1
+// sweep (the benchmark the CI perf gate watches most closely). Wall-clock
+// thresholds are inherently noisy, so the test retries with growing round
+// counts and only fails if every attempt exceeds the budget.
+func TestNoopRecorderOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	const budget = 1.02
+	// Warm caches and JIT-less Go's page/allocator state once.
+	minRunNs(t, 1)
+	var worst float64
+	for attempt, rounds := range []int{7, 11, 15} {
+		nilNs, noopNs := minRunNs(t, rounds)
+		ratio := float64(noopNs) / float64(nilNs)
+		t.Logf("attempt %d: nil %v, noop %v, ratio %.4f", attempt, nilNs, noopNs, ratio)
+		if ratio <= budget {
+			return
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Fatalf("no-op recorder overhead %.2f%% exceeds 2%% budget in every attempt", (worst-1)*100)
+}
