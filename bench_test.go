@@ -27,7 +27,12 @@ import (
 	"testing"
 	"time"
 
+	"broadcastic/internal/andk"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
 	"broadcastic/internal/pool"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
 	"broadcastic/internal/sim"
 	"broadcastic/internal/telemetry"
 	"broadcastic/internal/telemetry/benchjson"
@@ -175,3 +180,87 @@ func BenchmarkE18_InternalVsExternal(b *testing.B) { runExperiment(b, sim.E18Int
 func BenchmarkE19_WirelessContention(b *testing.B) { runExperiment(b, sim.E19WirelessContention) }
 
 func BenchmarkE20_NetworkedOverhead(b *testing.B) { runExperiment(b, sim.E20NetworkedOverhead) }
+
+// --- Hot-path micro-benchmarks -------------------------------------------
+//
+// The engine-level counterparts of the experiment benchmarks above: they
+// time the Monte-Carlo estimator and the categorical sampler directly, so
+// the BENCH_*.json trajectory shows where an experiment-level change came
+// from. They flow through recordSample like everything else and are gated
+// by cmd/benchgate alongside the experiment entries.
+
+// benchEstimateCIC times EstimateCIC on the sequential AND_k protocol
+// under the paper's hard distribution μ — the exact workload inside E4/E5
+// — at a fixed modest sample count so ns/op measures engine cost, not grid
+// size.
+func benchEstimateCIC(b *testing.B, k int) {
+	b.Helper()
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 200
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1)
+		if _, err := core.EstimateCIC(spec, mu, src, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
+
+func BenchmarkEstimateCIC_K4(b *testing.B)  { benchEstimateCIC(b, 4) }
+func BenchmarkEstimateCIC_K16(b *testing.B) { benchEstimateCIC(b, 16) }
+func BenchmarkEstimateCIC_K64(b *testing.B) { benchEstimateCIC(b, 64) }
+
+// benchDistSample times prob.Dist.Sample over a 256-outcome distribution
+// (comfortably above cdfMinSize, so the production size heuristic picks
+// the table), with and without the cumulative-distribution cache
+// (Uncached strips it), pinning the linear-scan → binary-search win and
+// watching for cache construction creep. One op is a fixed batch of
+// draws (with the cache built before timing), so ns/op is meaningful
+// even at -benchtime 1x — the regime the baseline-refresh procedure
+// runs in.
+func benchDistSample(b *testing.B, cached bool) {
+	b.Helper()
+	const drawsPerOp = 1000
+	d, err := prob.Uniform(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !cached {
+		d = d.Uncached()
+	}
+	src := rng.New(1)
+	sink := d.Sample(src) // warm-up draw builds the CDF cache when present
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < drawsPerOp; j++ {
+			sink += d.Sample(src)
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
+
+func BenchmarkDistSample_CachedCDF(b *testing.B)  { benchDistSample(b, true) }
+func BenchmarkDistSample_LinearScan(b *testing.B) { benchDistSample(b, false) }

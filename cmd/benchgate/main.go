@@ -31,6 +31,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "BENCH_baseline.json", "committed baseline benchjson file")
 		currentPath  = fs.String("current", "", "benchjson file from the run under test (required)")
 		maxRegress   = fs.Float64("max-regress", 0.25, "blocking ns/op regression ratio (0.25 = +25%)")
+		maxAllocs    = fs.Float64("max-alloc-regress", 0.10, "blocking allocs/op regression ratio (0.10 = +10%; negative disables)")
 		useMin       = fs.Bool("min", true, "compare min-of-samples ns/op when available (noise floor)")
 		gatedOps     = fs.String("gate", "", "comma-separated op names to gate (empty: gate all ops)")
 	)
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: current: %v\n", err)
 		return 2
 	}
-	opts := benchjson.CompareOptions{MaxRegress: *maxRegress, CompareMin: *useMin}
+	opts := benchjson.CompareOptions{MaxRegress: *maxRegress, MaxAllocRegress: *maxAllocs, CompareMin: *useMin}
 	if *gatedOps != "" {
 		gated := make(map[string]bool)
 		for _, name := range strings.Split(*gatedOps, ",") {
@@ -66,8 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	fmt.Fprintf(stdout, "benchgate: baseline %s (%s) vs current %s (%s), threshold +%.0f%%\n",
-		short(baseline.GitSHA), baseline.Host, short(current.GitSHA), current.Host, *maxRegress*100)
+	fmt.Fprintf(stdout, "benchgate: baseline %s (%s) vs current %s (%s), thresholds +%.0f%% ns/op, +%.0f%% allocs/op\n",
+		short(baseline.GitSHA), baseline.Host, short(current.GitSHA), current.Host, *maxRegress*100, *maxAllocs*100)
 	if !rep.SameHost {
 		fmt.Fprintln(stdout, "benchgate: differing host fingerprints — regressions reported as warnings only")
 	}
@@ -76,8 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case f.Verdict == benchjson.Missing:
 			fmt.Fprintf(stdout, "  %-12s %-40s %s\n", f.Verdict, f.Name, f.Note)
 		case f.Ratio > 0:
-			line := fmt.Sprintf("  %-12s %-40s %12.0f → %12.0f ns/op (%+.1f%%)",
-				f.Verdict, f.Name, f.Baseline, f.Current, (f.Ratio-1)*100)
+			line := fmt.Sprintf("  %-12s %-40s %12.0f → %12.0f %s (%+.1f%%)",
+				f.Verdict, f.Name, f.Baseline, f.Current, f.Metric, (f.Ratio-1)*100)
 			if f.Note != "" {
 				line += " [" + f.Note + "]"
 			}
@@ -87,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if blocking := rep.Blocking(); len(blocking) > 0 {
-		fmt.Fprintf(stderr, "benchgate: FAIL — %d op(s) regressed more than %.0f%%\n", len(blocking), *maxRegress*100)
+		fmt.Fprintf(stderr, "benchgate: FAIL — %d metric(s) regressed beyond threshold\n", len(blocking))
 		return 1
 	}
 	fmt.Fprintln(stdout, "benchgate: PASS")

@@ -86,3 +86,79 @@ func TestGateUsageErrors(t *testing.T) {
 		t.Fatal("unreadable baseline must exit 2")
 	}
 }
+
+func writeBenchAllocs(t *testing.T, dir, name, host string, ns, allocs float64) string {
+	t.Helper()
+	f := benchjson.New("quick", 1)
+	if host != "" {
+		f.Host = host
+	}
+	f.AddEntry(benchjson.Entry{
+		Name: "BenchmarkE1_DisjScalingN", Iterations: 3,
+		NsPerOp: ns, MinNsPerOp: ns, AllocsPerOp: allocs,
+	})
+	path := filepath.Join(dir, name)
+	if err := benchjson.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Timing flat, allocations +50%: the alloc gate alone must fail the run.
+	base := writeBenchAllocs(t, dir, "base.json", "", 100, 1000)
+	cur := writeBenchAllocs(t, dir, "cur.json", "", 100, 1500)
+	code, out, errOut := gate(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("code=%d, want 1; out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("missing allocs/op regression line: %q", out)
+	}
+}
+
+func TestGatePassesWithinAllocThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// +8% allocations sits inside the default +10% slack.
+	base := writeBenchAllocs(t, dir, "base.json", "", 100, 1000)
+	cur := writeBenchAllocs(t, dir, "cur.json", "", 100, 1080)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur)
+	if code != 0 || !strings.Contains(out, "PASS") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestGateAllocRegressionWarnsAcrossHosts(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchAllocs(t, dir, "base.json", "laptop/arm64/ncpu=8", 100, 1000)
+	cur := writeBenchAllocs(t, dir, "cur.json", "", 100, 2000)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("cross-host alloc regression must warn, not fail: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "warning") {
+		t.Fatalf("missing cross-host alloc warning: %q", out)
+	}
+}
+
+func TestGateAllocGateDisabled(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchAllocs(t, dir, "base.json", "", 100, 1000)
+	cur := writeBenchAllocs(t, dir, "cur.json", "", 100, 2000)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur, "-max-alloc-regress", "-1")
+	if code != 0 {
+		t.Fatalf("disabled alloc gate must pass: code=%d out=%q", code, out)
+	}
+}
+
+func TestGateMissingAllocBaselineIsBenign(t *testing.T) {
+	dir := t.TempDir()
+	// Old baselines predate AllocsPerOp; the alloc gate must not fire.
+	base := writeBench(t, dir, "base.json", "", 100)
+	cur := writeBenchAllocs(t, dir, "cur.json", "", 100, 5000)
+	code, out, _ := gate(t, "-baseline", base, "-current", cur)
+	if code != 0 || !strings.Contains(out, "PASS") {
+		t.Fatalf("alloc gate fired without baseline data: code=%d out=%q", code, out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 const wordBits = 64
@@ -99,6 +100,67 @@ func (v *Vector) Clone() *Vector {
 	return w
 }
 
+// CopyFrom makes v an exact copy of u, reusing v's word storage when it is
+// large enough: the allocation-free counterpart of Clone for callers that
+// own a scratch vector. The universe sizes need not match beforehand.
+func (v *Vector) CopyFrom(u *Vector) {
+	v.n = u.n
+	if cap(v.words) < len(u.words) {
+		v.words = make([]uint64, len(u.words))
+	}
+	v.words = v.words[:len(u.words)]
+	copy(v.words, u.words)
+}
+
+// Reset reshapes v to an all-zero vector over [0, n), reusing its word
+// storage when possible.
+func (v *Vector) Reset(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bitvec: negative length %d", n)
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if cap(v.words) < nw {
+		v.words = make([]uint64, nw)
+	}
+	v.words = v.words[:nw]
+	v.n = n
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	return nil
+}
+
+// Pool recycles vectors across iterations of a hot loop (per-trial instance
+// generation, repeated intersection tests). Get returns an all-zero vector
+// over [0, n), reusing a released vector's storage when one is available.
+// The zero value is ready to use. A Pool is safe for concurrent use; each
+// vector must be used by one goroutine at a time.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get returns an all-zero vector over [0, n).
+func (pl *Pool) Get(n int) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitvec: negative length %d", n)
+	}
+	v, _ := pl.p.Get().(*Vector)
+	if v == nil {
+		return New(n)
+	}
+	if err := v.Reset(n); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Put releases v back to the pool. v must not be used afterwards.
+func (pl *Pool) Put(v *Vector) {
+	if v != nil {
+		pl.p.Put(v)
+	}
+}
+
 // SetAll sets every bit in [0, n).
 func (v *Vector) SetAll() {
 	for i := range v.words {
@@ -185,6 +247,11 @@ func (v *Vector) Equal(u *Vector) bool {
 	return true
 }
 
+// accPool recycles the accumulator of IntersectsAll, which returns only
+// scalars, so per-call trials (every generated instance is ground-truthed
+// this way) allocate nothing.
+var accPool Pool
+
 // IntersectsAll reports whether the intersection of all given vectors is
 // non-empty, and if so returns the smallest common index. All vectors must
 // share a universe; an empty list is an error.
@@ -192,7 +259,12 @@ func IntersectsAll(vs []*Vector) (common int, nonEmpty bool, err error) {
 	if len(vs) == 0 {
 		return 0, false, fmt.Errorf("bitvec: IntersectsAll on empty list")
 	}
-	acc := vs[0].Clone()
+	acc, err := accPool.Get(0)
+	if err != nil {
+		return 0, false, err
+	}
+	defer accPool.Put(acc)
+	acc.CopyFrom(vs[0])
 	for _, v := range vs[1:] {
 		if err := acc.And(v); err != nil {
 			return 0, false, err

@@ -275,3 +275,89 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestCopyFromReusesStorage(t *testing.T) {
+	src := MustNew(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if err := src.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := MustNew(256) // larger storage than needed
+	dst.SetAll()
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %v, want %v", dst, src)
+	}
+	// Growing copy: dst smaller than src.
+	small := MustNew(1)
+	small.CopyFrom(src)
+	if !small.Equal(src) {
+		t.Fatalf("CopyFrom into smaller vector: got %v, want %v", small, src)
+	}
+}
+
+func TestResetReshapesAndZeroes(t *testing.T) {
+	v := MustNew(200)
+	v.SetAll()
+	if err := v.Reset(70); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 70 || v.Count() != 0 {
+		t.Fatalf("Reset(70): len=%d count=%d, want 70/0", v.Len(), v.Count())
+	}
+	// Stale high bits from the old shape must not resurface through SetAll
+	// and Count after reshaping.
+	v.SetAll()
+	if v.Count() != 70 {
+		t.Fatalf("SetAll after Reset: count=%d, want 70", v.Count())
+	}
+	if err := v.Reset(-1); err == nil {
+		t.Fatal("Reset(-1) succeeded")
+	}
+}
+
+func TestPoolGetReturnsZeroVectors(t *testing.T) {
+	var p Pool
+	v, err := p.Get(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetAll()
+	p.Put(v)
+	// Whatever comes back — the recycled vector or a fresh one — it must be
+	// all-zero at the requested size.
+	w, err := p.Get(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 40 || w.Count() != 0 {
+		t.Fatalf("pooled vector: len=%d count=%d, want 40/0", w.Len(), w.Count())
+	}
+	p.Put(w)
+	if _, err := p.Get(-3); err == nil {
+		t.Fatal("Get(-3) succeeded")
+	}
+}
+
+func TestIntersectsAllAllocationFree(t *testing.T) {
+	vs := []*Vector{MustNew(512), MustNew(512), MustNew(512)}
+	for _, v := range vs {
+		if err := v.Set(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the accumulator pool.
+	if _, _, err := IntersectsAll(vs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		idx, ok, err := IntersectsAll(vs)
+		if err != nil || !ok || idx != 100 {
+			t.Fatalf("IntersectsAll = (%d, %v, %v)", idx, ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectsAll allocates %.1f objects/call; want 0", allocs)
+	}
+}

@@ -26,7 +26,8 @@ type AmortizedResult struct {
 	Outputs        []int   // per-copy protocol outputs
 }
 
-// copyState tracks one running copy.
+// copyState tracks one running copy. Its input slice, transcript backing
+// and observer persist across runs of the owning amortizedRunner.
 type copyState struct {
 	x        []int
 	t        core.Transcript
@@ -36,28 +37,66 @@ type copyState struct {
 	origBits int
 }
 
-// RunAmortized executes n independent copies of spec on inputs drawn from
-// prior, compressing each parallel round with SimulatedProductTransmit.
-// Copies that halt early simply drop out of later rounds (the sequential
-// AND protocol halts at the first zero), which only reduces cost.
-func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source) (*AmortizedResult, error) {
+// amortizedRunner holds every buffer an n-fold compressed execution needs —
+// the prior sampler, one observer and transcript per copy, the prediction
+// vector, the per-group log-ratio and pending-symbol scratch — so repeated
+// runs (E11 sweeps a copy-count grid with many repeats per point) recycle
+// all of it instead of reallocating per execution.
+type amortizedRunner struct {
+	spec  core.Spec
+	prior core.Prior
+	ps    *core.PriorSampler
+
+	states []copyState
+
+	nu        []float64 // observer prediction, reused across every round
+	logRatios []float64
+	pendC     []int // copy indices awaiting the group's transmission
+	pendSym   []int // their realized symbols
+	actC      []int // active copy indices this round, ascending
+	actS      []int // their speakers; -1 marks entries already transmitted
+}
+
+func newAmortizedRunner(spec core.Spec, prior core.Prior) (*amortizedRunner, error) {
+	ps, err := core.NewPriorSampler(prior)
+	if err != nil {
+		return nil, err
+	}
+	return &amortizedRunner{spec: spec, prior: prior, ps: ps}, nil
+}
+
+// run executes n copies, drawing inputs and messages from src exactly as
+// RunAmortized always has: per copy the prior draws, then per round, per
+// speaker group in first-seen order, per member copy in index order, one
+// message draw followed by the group's simulated transmission draws.
+func (r *amortizedRunner) run(copies int, src *rng.Source) (*AmortizedResult, error) {
 	if copies < 1 {
 		return nil, fmt.Errorf("compress: copy count %d < 1", copies)
 	}
 	if src == nil {
 		return nil, fmt.Errorf("compress: nil randomness source")
 	}
-	states := make([]*copyState, copies)
+	for len(r.states) < copies {
+		obs, err := core.NewObserver(r.prior)
+		if err != nil {
+			return nil, err
+		}
+		r.states = append(r.states, copyState{
+			x:   make([]int, r.prior.NumPlayers()),
+			obs: obs,
+		})
+	}
+	states := r.states[:copies]
 	for c := range states {
-		_, x, err := core.SamplePrior(prior, src)
-		if err != nil {
+		st := &states[c]
+		if _, err := r.ps.Sample(src, st.x); err != nil {
 			return nil, err
 		}
-		obs, err := core.NewObserver(prior)
-		if err != nil {
-			return nil, err
-		}
-		states[c] = &copyState{x: x, obs: obs}
+		st.obs.Reset()
+		st.t = st.t[:0]
+		st.done = false
+		st.output = 0
+		st.origBits = 0
 	}
 
 	result := &AmortizedResult{Copies: copies, Outputs: make([]int, copies)}
@@ -65,20 +104,22 @@ func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source)
 		if round > 1<<16 {
 			return nil, fmt.Errorf("compress: combined protocol exceeded %d rounds", 1<<16)
 		}
-		// Determine each active copy's speaker; group copies by speaker so
-		// each group shares one product transmission.
-		groups := make(map[int][]int) // speaker -> copy indices
-		active := 0
-		for c, st := range states {
+		// Determine each active copy's speaker. Copies sharing a speaker
+		// form one group per round, processed in first-seen speaker order
+		// (copy-index order within a group), sharing one product
+		// transmission.
+		r.actC, r.actS = r.actC[:0], r.actS[:0]
+		for c := range states {
+			st := &states[c]
 			if st.done {
 				continue
 			}
-			speaker, done, err := spec.NextSpeaker(st.t)
+			speaker, done, err := r.spec.NextSpeaker(st.t)
 			if err != nil {
 				return nil, err
 			}
 			if done {
-				out, err := spec.Output(st.t)
+				out, err := r.spec.Output(st.t)
 				if err != nil {
 					return nil, err
 				}
@@ -87,59 +128,72 @@ func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source)
 				result.Outputs[c] = out
 				continue
 			}
-			groups[speaker] = append(groups[speaker], c)
-			active++
+			r.actC = append(r.actC, c)
+			r.actS = append(r.actS, speaker)
 		}
-		if active == 0 {
+		if len(r.actC) == 0 {
 			break
 		}
 		result.Rounds++
-		for speaker, cs := range groups {
-			logRatios := make([]float64, 0, len(cs))
-			type pending struct {
-				c   int
-				sym int
+		for j := range r.actS {
+			speaker := r.actS[j]
+			if speaker < 0 {
+				continue // already handled as part of an earlier group
 			}
-			pend := make([]pending, 0, len(cs))
-			for _, c := range cs {
-				st := states[c]
-				eta, err := spec.MessageDist(st.t, speaker, st.x[speaker])
+			r.logRatios = r.logRatios[:0]
+			r.pendC, r.pendSym = r.pendC[:0], r.pendSym[:0]
+			for jj := j; jj < len(r.actS); jj++ {
+				if r.actS[jj] != speaker {
+					continue
+				}
+				r.actS[jj] = -1
+				c := r.actC[jj]
+				st := &states[c]
+				eta, err := r.spec.MessageDist(st.t, speaker, st.x[speaker])
 				if err != nil {
 					return nil, err
 				}
-				nu, err := st.obs.PredictMessage(spec, st.t, speaker)
+				nu, err := st.obs.PredictMessageInto(r.spec, st.t, speaker, r.nu)
 				if err != nil {
 					return nil, err
 				}
+				r.nu = nu
 				sym := eta.Sample(src)
-				pe, pn := eta.P(sym), nu.P(sym)
+				pe := eta.P(sym)
+				pn := 0.0
+				if sym >= 0 && sym < len(nu) {
+					pn = nu[sym]
+				}
 				if pn == 0 {
 					return nil, fmt.Errorf("compress: observer prior excludes realized message %d", sym)
 				}
-				logRatios = append(logRatios, math.Log2(pe/pn))
-				symBits, err := spec.MessageBits(st.t, sym)
+				r.logRatios = append(r.logRatios, math.Log2(pe/pn))
+				symBits, err := r.spec.MessageBits(st.t, sym)
 				if err != nil {
 					return nil, err
 				}
 				st.origBits += symBits
-				pend = append(pend, pending{c: c, sym: sym})
+				r.pendC = append(r.pendC, c)
+				r.pendSym = append(r.pendSym, sym)
 			}
-			tx, err := SimulatedProductTransmit(logRatios, src)
+			tx, err := SimulatedProductTransmit(r.logRatios, src)
 			if err != nil {
 				return nil, fmt.Errorf("compress: round %d speaker %d: %w", round, speaker, err)
 			}
 			result.CompressedBits += tx.Bits
 			result.Transmissions++
-			for _, p := range pend {
-				st := states[p.c]
-				if err := st.obs.Update(spec, st.t, speaker, p.sym); err != nil {
+			for p, c := range r.pendC {
+				st := &states[c]
+				sym := r.pendSym[p]
+				if err := st.obs.Update(r.spec, st.t, speaker, sym); err != nil {
 					return nil, err
 				}
-				st.t = append(st.t, p.sym)
+				st.t = append(st.t, sym)
 			}
 		}
 	}
-	for c, st := range states {
+	for c := range states {
+		st := &states[c]
 		result.OriginalBits += st.origBits
 		if !st.done {
 			return nil, fmt.Errorf("compress: copy %d never halted", c)
@@ -147,6 +201,20 @@ func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source)
 	}
 	result.PerCopyBits = float64(result.CompressedBits) / float64(copies)
 	return result, nil
+}
+
+// RunAmortized executes n independent copies of spec on inputs drawn from
+// prior, compressing each parallel round with SimulatedProductTransmit.
+// Copies that halt early simply drop out of later rounds (the sequential
+// AND protocol halts at the first zero), which only reduces cost. Sweeps
+// over many executions should hold an amortizedRunner via AmortizedCurve
+// instead; this one-shot form sets up fresh state per call.
+func RunAmortized(spec core.Spec, prior core.Prior, copies int, src *rng.Source) (*AmortizedResult, error) {
+	r, err := newAmortizedRunner(spec, prior)
+	if err != nil {
+		return nil, err
+	}
+	return r.run(copies, src)
 }
 
 // AmortizedCurve runs RunAmortized over a sweep of copy counts, averaging
@@ -159,16 +227,21 @@ type AmortizedPoint struct {
 }
 
 // AmortizedCurve measures per-copy compressed cost as the number of
-// parallel copies grows.
+// parallel copies grows. One runner — observers, transcripts, group
+// scratch — is shared across the whole grid.
 func AmortizedCurve(spec core.Spec, prior core.Prior, copyCounts []int, repeats int, src *rng.Source) ([]AmortizedPoint, error) {
 	if repeats < 1 {
 		return nil, fmt.Errorf("compress: repeats %d < 1", repeats)
+	}
+	runner, err := newAmortizedRunner(spec, prior)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]AmortizedPoint, 0, len(copyCounts))
 	for _, n := range copyCounts {
 		var bits, orig float64
 		for r := 0; r < repeats; r++ {
-			res, err := RunAmortized(spec, prior, n, src)
+			res, err := runner.run(n, src)
 			if err != nil {
 				return nil, err
 			}

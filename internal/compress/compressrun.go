@@ -38,6 +38,7 @@ func CompressRun(spec core.Spec, prior core.Prior, x []int, public *rng.Source) 
 	var (
 		t      core.Transcript
 		result RunResult
+		tr     Transmitter // block scratch shared by every round of this run
 	)
 	for step := 0; ; step++ {
 		if step > 1<<16 {
@@ -64,7 +65,7 @@ func CompressRun(spec core.Spec, prior core.Prior, x []int, public *rng.Source) 
 		if err != nil {
 			return nil, err
 		}
-		tx, err := Transmit(eta, nu, public)
+		tx, err := tr.Transmit(eta, nu, public)
 		if err != nil {
 			return nil, fmt.Errorf("compress: round %d: %w", step, err)
 		}

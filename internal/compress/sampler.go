@@ -29,6 +29,7 @@ package compress
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"broadcastic/internal/encoding"
 	"broadcastic/internal/prob"
@@ -56,11 +57,30 @@ type TransmitResult struct {
 // point is 1/|U|, so |U|·64 failures indicate a malformed distribution.
 const maxSearchFactor = 4096
 
+// Transmitter runs Lemma 7 transmissions with reusable scratch: the block
+// point buffers, the batched public-randomness words, the payload writer
+// and the result struct are allocated once and recycled, so a warm
+// Transmitter performs no heap allocations per call. The returned result
+// (including its Payload) aliases that scratch and is valid only until the
+// transmitter's next call; callers that retain results use the package
+// function Transmit, which never reuses.
+type Transmitter struct {
+	xs      []int     // block point values
+	ps      []float64 // block point heights
+	words   []uint64  // batched raw draws (power-of-two universes)
+	w       encoding.BitWriter
+	payload []byte
+	res     TransmitResult
+}
+
+// NewTransmitter returns an empty transmitter; scratch grows on first use.
+func NewTransmitter() *Transmitter { return &Transmitter{} }
+
 // Transmit runs the Lemma 7 protocol for one message: the sender holds η,
 // the receivers hold ν, and both consume the same public randomness. It
 // returns the value (∼η) and the exact bit cost. ν must dominate η's
-// support.
-func Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
+// support. The result is valid until this transmitter's next call.
+func (tr *Transmitter) Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
 	if public == nil {
 		return nil, fmt.Errorf("compress: nil public randomness")
 	}
@@ -74,64 +94,78 @@ func Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
 		}
 	}
 
-	// Rejection sampling over the shared point sequence. Points are
-	// generated lazily but deterministically from the public stream, so
-	// sender and receivers see the same sequence.
-	type point struct {
-		x int
-		p float64
+	// Rejection sampling over the shared point sequence, materialized one
+	// |U|-point block at a time; blocks before the hit are discarded by
+	// sender and receivers identically. Each point consumes an Intn(u) draw
+	// then a Float64 draw. For power-of-two universes Intn always accepts
+	// its single raw word (Lemire's threshold is zero), so a whole block's
+	// raw words can be batch-filled with rng.Uint64s and mapped to the
+	// exact same points the per-draw calls would produce.
+	if cap(tr.xs) < u {
+		tr.xs = make([]int, u)
+		tr.ps = make([]float64, u)
 	}
-	// We materialize points of the chosen block only; blocks before the hit
-	// are discarded by both sides identically.
-	var (
-		chosen      point
-		chosenIdx   int // global 1-based index of the accepted point
-		found       bool
-		searchLimit = u * maxSearchFactor
-	)
-	block := make([]point, 0, u)
-	blockStart := 1
-	for t := 1; t <= searchLimit; t++ {
-		pt := point{x: public.Intn(u), p: public.Float64()}
-		block = append(block, pt)
-		if !found && pt.p < eta.P(pt.x) {
-			chosen = pt
-			chosenIdx = t
-			found = true
+	xs, ps := tr.xs[:u], tr.ps[:u]
+	pow2 := u&(u-1) == 0
+	var shift uint
+	if pow2 {
+		shift = uint(64 - (bits.Len(uint(u)) - 1))
+		if cap(tr.words) < 2*u {
+			tr.words = make([]uint64, 2*u)
 		}
-		if t%u == 0 { // block boundary
-			if found {
-				break
+	}
+
+	var (
+		chosenX    int
+		chosenP    float64
+		inBlockIdx int
+		found      bool
+		blockIndex int
+	)
+	for b := 1; b <= maxSearchFactor; b++ {
+		if pow2 {
+			words := tr.words[:2*u]
+			public.Uint64s(words)
+			for i := 0; i < u; i++ {
+				// Lemire's Intn on a power-of-two bound is the word's top
+				// log₂(u) bits; Float64 is the next word's top 53 bits.
+				xs[i] = int(words[2*i] >> shift)
+				ps[i] = float64(words[2*i+1]>>11) / (1 << 53)
 			}
-			block = block[:0]
-			blockStart = t + 1
+		} else {
+			for i := 0; i < u; i++ {
+				xs[i] = public.Intn(u)
+				ps[i] = public.Float64()
+			}
+		}
+		for i := 0; i < u; i++ {
+			if !found && ps[i] < eta.P(xs[i]) {
+				chosenX, chosenP = xs[i], ps[i]
+				inBlockIdx = i
+				found = true
+			}
+		}
+		if found {
+			blockIndex = b
+			break
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("compress: rejection sampling found no point in %d draws", searchLimit)
+		return nil, fmt.Errorf("compress: rejection sampling found no point in %d draws", u*maxSearchFactor)
 	}
-	// The block containing the hit may be partially generated if the hit
-	// was mid-block; receivers need the full block to compute P', so both
-	// sides extend it (consuming the same public stream).
-	for len(block) < u {
-		block = append(block, point{x: public.Intn(u), p: public.Float64()})
-	}
-
-	blockIndex := (chosenIdx-1)/u + 1
-	_ = blockStart
+	_ = chosenP
 
 	// Field 2: the log-ratio s = ⌈log₂(η(x)/ν(x))⌉ (may be negative).
-	ratio := eta.P(chosen.x) / nu.P(chosen.x)
+	ratio := eta.P(chosenX) / nu.P(chosenX)
 	s := int(math.Ceil(math.Log2(ratio)))
 	scale := math.Pow(2, float64(s))
 
 	// Candidate set P': points in the block under the scaled prior curve.
 	candidates := 0
 	chosenRank := -1
-	inBlockIdx := (chosenIdx - 1) % u
-	for t, pt := range block {
-		if pt.p < scale*nu.P(pt.x) {
-			if t == inBlockIdx {
+	for i := 0; i < u; i++ {
+		if ps[i] < scale*nu.P(xs[i]) {
+			if i == inBlockIdx {
 				chosenRank = candidates
 			}
 			candidates++
@@ -141,25 +175,34 @@ func Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
 		return nil, fmt.Errorf("compress: accepted point escaped the scaled prior (s=%d)", s)
 	}
 
-	var w encoding.BitWriter
-	if err := encoding.WriteEliasGamma(&w, uint64(blockIndex)); err != nil {
+	tr.w.Reset()
+	if err := encoding.WriteEliasGamma(&tr.w, uint64(blockIndex)); err != nil {
 		return nil, err
 	}
-	if err := encoding.WriteSignedGamma(&w, int64(s)); err != nil {
+	if err := encoding.WriteSignedGamma(&tr.w, int64(s)); err != nil {
 		return nil, err
 	}
-	if err := w.WriteBits(uint64(chosenRank), encoding.FixedWidth(uint64(candidates))); err != nil {
+	if err := tr.w.WriteBits(uint64(chosenRank), encoding.FixedWidth(uint64(candidates))); err != nil {
 		return nil, err
 	}
+	tr.payload = tr.w.AppendTo(tr.payload[:0])
 
-	return &TransmitResult{
-		Value:          chosen.x,
-		Bits:           w.Len(),
+	tr.res = TransmitResult{
+		Value:          chosenX,
+		Bits:           tr.w.Len(),
 		BlockIndex:     blockIndex,
 		LogRatio:       s,
 		CandidateCount: candidates,
-		Payload:        w.Bytes(),
-	}, nil
+		Payload:        tr.payload,
+	}
+	return &tr.res, nil
+}
+
+// Transmit is the one-shot form of Transmitter.Transmit: it uses a fresh
+// transmitter, so the result does not alias reused scratch and may be
+// retained. Hot loops should hold a Transmitter instead.
+func Transmit(eta, nu prob.Dist, public *rng.Source) (*TransmitResult, error) {
+	return NewTransmitter().Transmit(eta, nu, public)
 }
 
 // CostModel returns the Lemma 7 cost bound D + O(log D + 1) evaluated with

@@ -103,8 +103,15 @@ func exactCostsFromLeaves(leaves []*Leaf, prior Prior) (*CostReport, error) {
 // posteriorDivergenceSum computes Σ_i D(posterior_i ‖ prior_i) at a leaf,
 // where posterior_i(v) ∝ prior_i(v)·Q[i][v].
 func posteriorDivergenceSum(leaf *Leaf, priors [][]float64) (float64, error) {
+	return qDivergenceSum(leaf.Q, priors)
+}
+
+// qDivergenceSum is posteriorDivergenceSum on bare q-factor rows; the
+// Monte-Carlo hot path calls it directly so no Leaf needs to be built per
+// sample.
+func qDivergenceSum(q [][]float64, priors [][]float64) (float64, error) {
 	total := 0.0
-	for i, row := range leaf.Q {
+	for i, row := range q {
 		pr := priors[i]
 		if len(pr) > len(row) {
 			return 0, fmt.Errorf("core: prior domain %d exceeds leaf domain %d", len(pr), len(row))

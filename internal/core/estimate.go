@@ -113,42 +113,20 @@ func EstimateCICRecorded(spec Spec, prior Prior, src *rng.Source, samples, worke
 }
 
 // cicShard draws count samples from src and accumulates their raw moments.
-// All mutable state (input vector, q-factors, prior rows) is shard-local.
+// All mutable state (input vector, q-factors, prior rows, transcript path)
+// lives in an execScratch acquired once for the whole shard, so the sample
+// loop itself is allocation-free (see scratch.go).
 func cicShard(spec Spec, prior Prior, src *rng.Source, count int) (cicPartial, error) {
 	zd, err := auxDist(prior)
 	if err != nil {
 		return cicPartial{}, err
 	}
-	k := spec.NumPlayers()
-	inputSize := spec.InputSize()
+	sc := getExecScratch(spec.NumPlayers(), spec.InputSize())
+	defer putExecScratch(sc)
 
 	var p cicPartial
-	x := make([]int, k)
-	priors := make([][]float64, k)
-	q := make([][]float64, k)
-	for i := range q {
-		q[i] = make([]float64, inputSize)
-	}
-
 	for s := 0; s < count; s++ {
-		z := zd.Sample(src)
-		for i := 0; i < k; i++ {
-			d, err := prior.PlayerDist(z, i)
-			if err != nil {
-				return cicPartial{}, err
-			}
-			priors[i] = d.Probs()
-			x[i] = d.Sample(src)
-			for v := range q[i] {
-				q[i][v] = 1
-			}
-		}
-		bits, err := sampleExecution(spec, x, q, src)
-		if err != nil {
-			return cicPartial{}, err
-		}
-		leaf := &Leaf{Q: q}
-		inner, err := posteriorDivergenceSum(leaf, priors)
+		inner, bits, err := sc.runSample(spec, prior, zd, src)
 		if err != nil {
 			return cicPartial{}, err
 		}
@@ -157,47 +135,6 @@ func cicShard(spec Spec, prior Prior, src *rng.Source, count int) (cicPartial, e
 		p.bitsSum += float64(bits)
 	}
 	return p, nil
-}
-
-// sampleExecution simulates one run of spec on input x, updating the
-// q-factor rows in place, and returns the communication in bits.
-func sampleExecution(spec Spec, x []int, q [][]float64, src *rng.Source) (int, error) {
-	var t Transcript
-	bits := 0
-	for step := 0; ; step++ {
-		if step > defaultMaxDepth {
-			return 0, fmt.Errorf("%w (%d)", ErrTreeDepth, defaultMaxDepth)
-		}
-		speaker, done, err := spec.NextSpeaker(t)
-		if err != nil {
-			return 0, fmt.Errorf("core: NextSpeaker after %v: %w", t, err)
-		}
-		if done {
-			return bits, nil
-		}
-		if speaker < 0 || speaker >= len(x) {
-			return 0, fmt.Errorf("core: invalid speaker %d", speaker)
-		}
-		trueDist, err := spec.MessageDist(t, speaker, x[speaker])
-		if err != nil {
-			return 0, err
-		}
-		sym := trueDist.Sample(src)
-		// Counterfactual q-updates for every possible input of the speaker.
-		for v := range q[speaker] {
-			d, err := spec.MessageDist(t, speaker, v)
-			if err != nil {
-				return 0, err
-			}
-			q[speaker][v] *= d.P(sym)
-		}
-		symBits, err := spec.MessageBits(t, sym)
-		if err != nil {
-			return 0, err
-		}
-		bits += symBits
-		t = append(t, sym)
-	}
 }
 
 // SampleTranscript runs spec once on input x and returns the transcript,

@@ -29,6 +29,10 @@ type Observer struct {
 	//   weights[z] = p(z) · Π_i S_i(z)
 	s       [][]float64
 	weights []float64
+
+	// post is the posterior scratch used by PredictMessageInto so that a
+	// prediction costs no allocations; valid only during a single call.
+	post []float64
 }
 
 // NewObserver starts an observer with an empty board.
@@ -56,14 +60,17 @@ func NewObserver(prior Prior) (*Observer, error) {
 	return &Observer{prior: prior, q: q, s: s, weights: weights}, nil
 }
 
-// PlayerPosterior returns the observer's current posterior over player i's
-// input: Pr[X_i = v | board] = Σ_z Pr[z | board]·Pr[X_i = v | z, board].
-func (o *Observer) PlayerPosterior(i int) (prob.Dist, error) {
+// posteriorWeightsInto accumulates the unnormalized posterior weights for
+// player i into out (length InputSize), the shared kernel of
+// PlayerPosterior and PredictMessageInto.
+func (o *Observer) posteriorWeightsInto(i int, out []float64) error {
 	k := o.prior.NumPlayers()
 	if i < 0 || i >= k {
-		return prob.Dist{}, fmt.Errorf("core: player %d outside [0,%d)", i, k)
+		return fmt.Errorf("core: player %d outside [0,%d)", i, k)
 	}
-	out := make([]float64, o.prior.InputSize())
+	for v := range out {
+		out[v] = 0
+	}
 	for z := 0; z < o.prior.AuxSize(); z++ {
 		weight := o.weights[z]
 		si := o.s[z][i]
@@ -72,11 +79,21 @@ func (o *Observer) PlayerPosterior(i int) (prob.Dist, error) {
 		}
 		d, err := o.prior.PlayerDist(z, i)
 		if err != nil {
-			return prob.Dist{}, err
+			return err
 		}
 		for v := range out {
 			out[v] += weight * d.P(v) * o.q[i][v] / si
 		}
+	}
+	return nil
+}
+
+// PlayerPosterior returns the observer's current posterior over player i's
+// input: Pr[X_i = v | board] = Σ_z Pr[z | board]·Pr[X_i = v | z, board].
+func (o *Observer) PlayerPosterior(i int) (prob.Dist, error) {
+	out := make([]float64, o.prior.InputSize())
+	if err := o.posteriorWeightsInto(i, out); err != nil {
+		return prob.Dist{}, err
 	}
 	d, err := prob.Normalize(out)
 	if err != nil {
@@ -90,29 +107,91 @@ func (o *Observer) PlayerPosterior(i int) (prob.Dist, error) {
 // protocol's message function (footnote 3 of the paper), i.e.
 // ν(m) = Σ_v Pr[X_speaker = v | board] · Pr[m | v, board].
 func (o *Observer) PredictMessage(spec Spec, t Transcript, speaker int) (prob.Dist, error) {
-	post, err := o.PlayerPosterior(speaker)
+	w, err := o.PredictMessageInto(spec, t, speaker, nil)
 	if err != nil {
 		return prob.Dist{}, err
+	}
+	return prob.NewDist(w)
+}
+
+// PredictMessageInto is PredictMessage without the Dist: it writes the
+// normalized prediction into w (grown from w[:0] as needed) and returns it.
+// The arithmetic — accumulate unnormalized weights in index order, divide by
+// their sum — is exactly PredictMessage's, so the values are bit-identical;
+// the compression hot loop uses this form to predict every message without
+// allocating. The result aliases w and o's scratch lifetime: it is valid
+// until the observer's next prediction.
+func (o *Observer) PredictMessageInto(spec Spec, t Transcript, speaker int, w []float64) ([]float64, error) {
+	if o.post == nil {
+		o.post = make([]float64, o.prior.InputSize())
+	}
+	if err := o.posteriorWeightsInto(speaker, o.post); err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, v := range o.post {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: observer posterior for player %d: all weights are zero", speaker)
+	}
+	for v := range o.post {
+		o.post[v] /= sum
 	}
 	alphabet, err := spec.MessageAlphabet(t)
 	if err != nil {
-		return prob.Dist{}, err
+		return nil, err
 	}
-	w := make([]float64, alphabet)
-	for v := 0; v < spec.InputSize(); v++ {
-		pv := post.P(v)
+	w = w[:0]
+	for m := 0; m < alphabet; m++ {
+		w = append(w, 0)
+	}
+	// spec.InputSize() matches len(o.post) whenever spec and prior agree on
+	// shapes; out-of-range inputs carry zero posterior mass (as post.P(v)
+	// reported in the Dist-returning form), so they are simply skipped.
+	for v := 0; v < spec.InputSize() && v < len(o.post); v++ {
+		pv := o.post[v]
 		if pv == 0 {
 			continue
 		}
 		d, err := spec.MessageDist(t, speaker, v)
 		if err != nil {
-			return prob.Dist{}, err
+			return nil, err
 		}
 		for m := 0; m < alphabet; m++ {
 			w[m] += pv * d.P(m)
 		}
 	}
-	return prob.Normalize(w)
+	wsum := 0.0
+	for _, v := range w {
+		wsum += v
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("core: observer prediction for player %d: all weights are zero", speaker)
+	}
+	for m := range w {
+		w[m] /= wsum
+	}
+	return w, nil
+}
+
+// Reset restores the observer to its empty-board state (q ≡ 1, every
+// S_i(z) = 1, weights = the auxiliary prior), so one observer can be reused
+// across independent protocol runs without reallocating its caches.
+func (o *Observer) Reset() {
+	for i := range o.q {
+		row := o.q[i]
+		for v := range row {
+			row[v] = 1
+		}
+	}
+	for z := range o.s {
+		row := o.s[z]
+		for i := range row {
+			row[i] = 1
+		}
+		o.weights[z] = o.prior.AuxProb(z)
+	}
 }
 
 // Update folds an observed message into the posterior and refreshes the
@@ -174,17 +253,26 @@ func EstimateExternalIC(spec Spec, prior Prior, src *rng.Source, samples int) (*
 	if src == nil {
 		return nil, fmt.Errorf("core: nil randomness source")
 	}
+	ps, err := NewPriorSampler(prior)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := NewObserver(prior)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]int, prior.NumPlayers())
+	var t Transcript
+	var nu []float64
 	var sum, sumSq float64
 	for s := 0; s < samples; s++ {
-		_, x, err := SamplePrior(prior, src)
-		if err != nil {
+		if _, err := ps.Sample(src, x); err != nil {
 			return nil, err
 		}
-		obs, err := NewObserver(prior)
-		if err != nil {
-			return nil, err
+		if s > 0 {
+			obs.Reset()
 		}
-		var t Transcript
+		t = t[:0]
 		runInfo := 0.0
 		for step := 0; ; step++ {
 			if step > defaultMaxDepth {
@@ -201,11 +289,11 @@ func EstimateExternalIC(spec Spec, prior Prior, src *rng.Source, samples int) (*
 			if err != nil {
 				return nil, err
 			}
-			nu, err := obs.PredictMessage(spec, t, speaker)
+			nu, err = obs.PredictMessageInto(spec, t, speaker, nu)
 			if err != nil {
 				return nil, err
 			}
-			d, err := klDist(eta, nu)
+			d, err := klDivVec(eta, nu)
 			if err != nil {
 				return nil, fmt.Errorf("core: round %d: %w", step, err)
 			}
@@ -234,8 +322,14 @@ func EstimateExternalIC(spec Spec, prior Prior, src *rng.Source, samples int) (*
 // klDist is KL(post ‖ prior) in bits over equal finite supports. Inlined
 // here (rather than importing info) to keep core's dependencies minimal.
 func klDist(post, prior prob.Dist) (float64, error) {
-	if post.Size() != prior.Size() {
-		return 0, fmt.Errorf("core: KL support mismatch %d vs %d", post.Size(), prior.Size())
+	return klDivVec(post, prior.Probs())
+}
+
+// klDivVec is klDist against a raw probability vector, so hot loops can
+// price a prediction straight from PredictMessageInto's scratch output.
+func klDivVec(post prob.Dist, prior []float64) (float64, error) {
+	if post.Size() != len(prior) {
+		return 0, fmt.Errorf("core: KL support mismatch %d vs %d", post.Size(), len(prior))
 	}
 	d := 0.0
 	for v := 0; v < post.Size(); v++ {
@@ -243,7 +337,7 @@ func klDist(post, prior prob.Dist) (float64, error) {
 		if p == 0 {
 			continue
 		}
-		q := prior.P(v)
+		q := prior[v]
 		if q == 0 {
 			return 0, fmt.Errorf("core: observer prediction excludes a possible message (value %d)", v)
 		}

@@ -141,24 +141,56 @@ func auxDist(prior Prior) (prob.Dist, error) {
 	return prob.Normalize(w)
 }
 
+// PriorSampler draws (z, x) pairs from a Prior. It materializes the
+// auxiliary distribution once at construction, so repeated sampling (the
+// amortized-compression and external-IC loops) performs no per-call setup;
+// with a caller-owned x buffer each draw is allocation-free.
+type PriorSampler struct {
+	prior Prior
+	zd    prob.Dist
+}
+
+// NewPriorSampler validates prior and prepares a sampler for it.
+func NewPriorSampler(prior Prior) (*PriorSampler, error) {
+	zd, err := auxDist(prior)
+	if err != nil {
+		return nil, err
+	}
+	return &PriorSampler{prior: prior, zd: zd}, nil
+}
+
+// Sample draws the auxiliary value and one input per player into x, which
+// must have length NumPlayers. The draw sequence is identical to
+// SamplePrior's.
+func (ps *PriorSampler) Sample(src *rng.Source, x []int) (int, error) {
+	if src == nil {
+		return 0, fmt.Errorf("core: nil randomness source")
+	}
+	if len(x) != ps.prior.NumPlayers() {
+		return 0, fmt.Errorf("core: input buffer has %d entries, want %d", len(x), ps.prior.NumPlayers())
+	}
+	z := ps.zd.Sample(src)
+	for i := range x {
+		d, err := ps.prior.PlayerDist(z, i)
+		if err != nil {
+			return 0, err
+		}
+		x[i] = d.Sample(src)
+	}
+	return z, nil
+}
+
 // SamplePrior draws (z, x) from a Prior: the auxiliary value and one input
 // per player.
 func SamplePrior(prior Prior, src *rng.Source) (z int, x []int, err error) {
-	if src == nil {
-		return 0, nil, fmt.Errorf("core: nil randomness source")
-	}
-	zd, err := auxDist(prior)
+	ps, err := NewPriorSampler(prior)
 	if err != nil {
 		return 0, nil, err
 	}
-	z = zd.Sample(src)
 	x = make([]int, prior.NumPlayers())
-	for i := range x {
-		d, err := prior.PlayerDist(z, i)
-		if err != nil {
-			return 0, nil, err
-		}
-		x[i] = d.Sample(src)
+	z, err = ps.Sample(src, x)
+	if err != nil {
+		return 0, nil, err
 	}
 	return z, x, nil
 }

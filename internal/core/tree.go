@@ -50,10 +50,28 @@ var (
 	ErrTreeLeaves = errors.New("core: transcript tree exceeds leaf limit")
 )
 
+// leafMeta is the index-based record of one complete transcript taken
+// during enumeration: offsets into the shared symbol arena plus the scalar
+// annotations. Slice views are materialized only after the walk finishes,
+// because the arenas relocate while they grow.
+type leafMeta struct {
+	tStart, tEnd int
+	bits, output int
+}
+
 // EnumerateTranscripts walks the complete transcript tree of spec,
 // returning one Leaf per reachable complete transcript. A transcript is
 // reachable if some input gives it positive probability, i.e. every
 // player's q-row has a positive entry.
+//
+// The leaves are stored flattened: all transcripts live in one contiguous
+// symbol arena, all q-factor rows in one contiguous float arena, and the
+// Leaf structs themselves in a single slice, with the returned pointers
+// indexing into it. During the walk each completed transcript is recorded
+// as arena offsets only (leafMeta); the slice views handed out are carved
+// once at the end, after the arenas stop moving. This keeps per-leaf heap
+// allocations amortized-constant instead of O(k) and lays sibling leaves
+// out adjacently for the exact-cost sweeps that scan them.
 func EnumerateTranscripts(spec Spec, lim TreeLimits) ([]*Leaf, error) {
 	if lim.MaxDepth == 0 {
 		lim.MaxDepth = defaultMaxDepth
@@ -67,7 +85,11 @@ func EnumerateTranscripts(spec Spec, lim TreeLimits) ([]*Leaf, error) {
 		return nil, fmt.Errorf("core: invalid spec shape k=%d inputSize=%d", k, inputSize)
 	}
 
-	var leaves []*Leaf
+	var (
+		syms  []int      // transcript arena
+		qVals []float64  // q-row arena, k·inputSize values per leaf
+		metas []leafMeta // index links, one per leaf
+	)
 	q := make([][]float64, k)
 	for i := range q {
 		q[i] = make([]float64, inputSize)
@@ -86,25 +108,23 @@ func EnumerateTranscripts(spec Spec, lim TreeLimits) ([]*Leaf, error) {
 			return fmt.Errorf("core: NextSpeaker after %v: %w", t, err)
 		}
 		if done {
-			if len(leaves) >= lim.MaxLeaves {
+			if len(metas) >= lim.MaxLeaves {
 				return fmt.Errorf("%w (%d)", ErrTreeLeaves, lim.MaxLeaves)
 			}
 			out, err := spec.Output(t)
 			if err != nil {
 				return fmt.Errorf("core: Output of %v: %w", t, err)
 			}
-			leaf := &Leaf{
-				Transcript: t.Clone(),
-				Q:          make([][]float64, k),
-				Bits:       bits,
-				Output:     out,
-			}
+			metas = append(metas, leafMeta{
+				tStart: len(syms),
+				tEnd:   len(syms) + len(t),
+				bits:   bits,
+				output: out,
+			})
+			syms = append(syms, t...)
 			for i := range q {
-				row := make([]float64, inputSize)
-				copy(row, q[i])
-				leaf.Q[i] = row
+				qVals = append(qVals, q[i]...)
 			}
-			leaves = append(leaves, leaf)
 			return nil
 		}
 		if speaker < 0 || speaker >= k {
@@ -162,7 +182,29 @@ func EnumerateTranscripts(spec Spec, lim TreeLimits) ([]*Leaf, error) {
 	if err := walk(nil, 0); err != nil {
 		return nil, err
 	}
-	return leaves, nil
+
+	// Materialize the Leaf views now that the arenas are final. Full slice
+	// expressions cap every view so no append through a Leaf can reach its
+	// neighbor's storage.
+	leaves := make([]Leaf, len(metas))
+	rows := make([][]float64, len(metas)*k)
+	out := make([]*Leaf, len(metas))
+	rowSize := k * inputSize
+	for li, m := range metas {
+		lr := rows[li*k : (li+1)*k : (li+1)*k]
+		for i := 0; i < k; i++ {
+			s := li*rowSize + i*inputSize
+			lr[i] = qVals[s : s+inputSize : s+inputSize]
+		}
+		leaves[li] = Leaf{
+			Transcript: syms[m.tStart:m.tEnd:m.tEnd],
+			Q:          lr,
+			Bits:       m.bits,
+			Output:     m.output,
+		}
+		out[li] = &leaves[li]
+	}
+	return out, nil
 }
 
 type probVec = []float64

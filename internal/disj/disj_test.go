@@ -570,3 +570,55 @@ func TestSolveOptimalMessages(t *testing.T) {
 		t.Fatal("nil instance succeeded")
 	}
 }
+
+// TestGenerateFromMuNIntoMatchesFresh pins that instance reuse changes
+// neither the sampled instance nor the randomness stream: a reused-buffer
+// generation consumes exactly the draws a fresh one does and yields
+// identical sets.
+func TestGenerateFromMuNIntoMatchesFresh(t *testing.T) {
+	const n, k, trials = 257, 7, 5
+	fresh := rng.New(42)
+	reused := rng.New(42)
+	var inst *Instance
+	for tr := 0; tr < trials; tr++ {
+		want, err := GenerateFromMuN(fresh, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err = GenerateFromMuNInto(inst, reused, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Sets {
+			if !inst.Sets[i].Equal(want.Sets[i]) {
+				t.Fatalf("trial %d: reused set %d differs from fresh generation", tr, i)
+			}
+		}
+	}
+	if fresh.Uint64() != reused.Uint64() {
+		t.Fatal("randomness streams diverged after generation")
+	}
+}
+
+// TestGenerateFromMuNIntoRejectsBadShape: a shape mismatch falls back to a
+// fresh allocation rather than corrupting the caller's instance.
+func TestGenerateFromMuNIntoRejectsBadShape(t *testing.T) {
+	src := rng.New(7)
+	small, err := GenerateFromMuN(src, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GenerateFromMuNInto(small, src, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big == small {
+		t.Fatal("mismatched shape reused the old instance")
+	}
+	if big.N != 64 || big.K != 5 {
+		t.Fatalf("fresh instance has shape n=%d k=%d", big.N, big.K)
+	}
+	if small.N != 16 || small.K != 3 || small.Sets[0].Len() != 16 {
+		t.Fatal("original instance mutated by mismatched reuse")
+	}
+}

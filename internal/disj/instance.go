@@ -123,19 +123,39 @@ func GenerateIntersecting(src *rng.Source, n, k, common int, density float64) (*
 // the special player always misses it). μ^n instances are always disjoint;
 // they are the information-theoretically hard disjoint inputs.
 func GenerateFromMuN(src *rng.Source, n, k int) (*Instance, error) {
+	return GenerateFromMuNInto(nil, src, n, k)
+}
+
+// GenerateFromMuNInto is GenerateFromMuN with instance reuse: when dst has
+// the requested shape its bit vectors are cleared and refilled in place, so
+// per-trial sampling loops allocate nothing. Pass the previous trial's
+// instance (or nil for the first). The randomness draws are identical to
+// GenerateFromMuN's, draw for draw, whether or not dst is reused.
+func GenerateFromMuNInto(dst *Instance, src *rng.Source, n, k int) (*Instance, error) {
 	if src == nil {
 		return nil, fmt.Errorf("disj: nil randomness source")
 	}
 	if n < 1 || k < 2 {
 		return nil, fmt.Errorf("disj: need n >= 1 and k >= 2, got n=%d k=%d", n, k)
 	}
-	sets := make([]*bitvec.Vector, k)
-	for i := range sets {
-		v, err := bitvec.New(n)
-		if err != nil {
-			return nil, err
+	inst := dst
+	if inst == nil || inst.N != n || inst.K != k || len(inst.Sets) != k {
+		sets := make([]*bitvec.Vector, k)
+		for i := range sets {
+			v, err := bitvec.New(n)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = v
 		}
-		sets[i] = v
+		inst = &Instance{N: n, K: k, Sets: sets}
+	} else {
+		for i, s := range inst.Sets {
+			if s == nil || s.Len() != n {
+				return nil, fmt.Errorf("disj: reused instance has invalid set %d", i)
+			}
+			s.ClearAll()
+		}
 	}
 	invK := 1 / float64(k)
 	for j := 0; j < n; j++ {
@@ -145,13 +165,13 @@ func GenerateFromMuN(src *rng.Source, n, k int) (*Instance, error) {
 				continue // forced zero: element absent
 			}
 			if !src.Bernoulli(invK) {
-				if err := sets[i].Set(j); err != nil {
+				if err := inst.Sets[i].Set(j); err != nil {
 					return nil, err
 				}
 			}
 		}
 	}
-	return NewInstance(n, sets)
+	return inst, nil
 }
 
 func checkGenArgs(src *rng.Source, n, k int, density float64) error {

@@ -55,6 +55,20 @@ func (w *BitWriter) WriteBits(v uint64, width int) error {
 // Len returns the number of bits written so far.
 func (w *BitWriter) Len() int { return w.nbit }
 
+// Reset clears the writer for reuse, keeping the buffer capacity so a
+// reused writer allocates nothing once it has grown to its working size.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// AppendTo appends the packed bytes (final byte zero-padded) to dst and
+// returns the result: the allocation-free counterpart of Bytes for callers
+// that own a scratch buffer.
+func (w *BitWriter) AppendTo(dst []byte) []byte {
+	return append(dst, w.buf...)
+}
+
 // Bytes returns the written bits packed into bytes (the final byte is
 // zero-padded). The returned slice is a copy.
 func (w *BitWriter) Bytes() []byte {

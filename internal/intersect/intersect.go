@@ -24,10 +24,14 @@ package intersect
 import (
 	"fmt"
 
+	"broadcastic/internal/bitvec"
 	"broadcastic/internal/blackboard"
 	"broadcastic/internal/encoding"
 	"broadcastic/internal/rng"
 )
+
+// bitmapPool recycles the Phase A hash bitmaps across protocol runs.
+var bitmapPool bitvec.Pool
 
 // Instance is a sparse intersection input: per-player element sets over
 // universe [n], each of size at most s.
@@ -166,26 +170,36 @@ func SolveHashed(inst *Instance, publicSeed uint64) (*Outcome, error) {
 
 	bits := 0
 	// Phase A: cascading bitmaps. Simulated sequentially; every message is
-	// charged exactly (m bits each).
-	prev := make([]bool, m)
-	for idx := range prev {
-		prev[idx] = true // player 1 filters against "everything"
+	// charged exactly (m bits each). The two bitmaps come from the package
+	// pool so repeated trials (E13 sweeps many instances) allocate nothing.
+	prev, err := bitmapPool.Get(m)
+	if err != nil {
+		return nil, err
 	}
+	defer bitmapPool.Put(prev)
+	cur, err := bitmapPool.Get(m)
+	if err != nil {
+		return nil, err
+	}
+	defer bitmapPool.Put(cur)
+	prev.SetAll() // player 1 filters against "everything"
 	for i := 0; i < k; i++ {
-		cur := make([]bool, m)
+		cur.ClearAll()
 		for _, e := range inst.Sets[i] {
-			if prev[hash(e)] {
-				cur[hash(e)] = true
+			if prev.Get(hash(e)) {
+				if err := cur.Set(hash(e)); err != nil {
+					return nil, err
+				}
 			}
 		}
-		prev = cur
+		prev, cur = cur, prev
 		bits += m
 	}
 
 	// Phase B: player 1 lists its surviving elements exactly.
 	var candidates []int
 	for _, e := range inst.Sets[0] {
-		if prev[hash(e)] {
+		if prev.Get(hash(e)) {
 			candidates = append(candidates, e)
 		}
 	}

@@ -110,17 +110,24 @@ func SolveUnion(inst *Instance) (*Result, error) {
 	claimed := make([]bool, n)
 	var live []int // live set at the current player's turn
 
+	// One writer and position buffer serve every player in turn: players
+	// speak strictly sequentially and NewMessage copies the payload, so the
+	// scratch never escapes a turn.
+	var (
+		w         encoding.BitWriter
+		positions []int
+	)
 	players := make([]blackboard.Player, k)
 	for i := 0; i < k; i++ {
 		i := i
 		players[i] = blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
-			var positions []int
+			positions = positions[:0]
 			for pos, coord := range live {
 				if inst.Sets[i].Get(coord) {
 					positions = append(positions, pos)
 				}
 			}
-			var w encoding.BitWriter
+			w.Reset()
 			if err := encoding.WriteNonNeg(&w, uint64(len(positions))); err != nil {
 				return blackboard.Message{}, err
 			}

@@ -13,14 +13,66 @@ package prob
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"broadcastic/internal/rng"
 )
 
 // Dist is a probability distribution over the outcomes 0..len(p)-1.
 // Probabilities are non-negative and sum to 1 up to a small tolerance.
+//
+// Dist is a value type; the cdf pointer travels with every copy, so the
+// lazily built sampling table is shared by all copies of a distribution
+// and built at most once.
 type Dist struct {
-	p []float64
+	p   []float64
+	cdf *cdfCache
+}
+
+// cdfMinSize is the smallest support for which a Dist carries a cached
+// cumulative-distribution table. The binary search's data-dependent
+// branch mispredicts roughly half the time, so despite doing O(log n)
+// work it only overtakes the predictable early-exit scan around support
+// ~100 on uniform inputs (and later on the skewed, early-mass
+// distributions the protocols actually sample); below the threshold the
+// scan is kept and the Dist does not pay even the one-word holder.
+const cdfMinSize = 128
+
+// cdfCache holds the lazily built prefix-sum table used by Sample on
+// larger supports. cum[i] is the identical in-order partial sum the
+// linear scan computes, so binary search over it selects the exact same
+// outcome for the same uniform draw. last is the largest outcome with
+// positive mass — the linear scan's floating-point-slack fallback.
+type cdfCache struct {
+	once sync.Once
+	p    []float64
+	cum  []float64
+	last int
+}
+
+func (c *cdfCache) build() {
+	cum := make([]float64, len(c.p))
+	acc := 0.0
+	last := len(c.p) - 1
+	for i, v := range c.p {
+		acc += v
+		cum[i] = acc
+		if v > 0 {
+			last = i
+		}
+	}
+	c.cum = cum
+	c.last = last
+}
+
+// distFromOwned wraps a probability vector the caller will not retain,
+// attaching the sampler cache holder for supports large enough to benefit.
+func distFromOwned(p []float64) Dist {
+	d := Dist{p: p}
+	if len(p) >= cdfMinSize {
+		d.cdf = &cdfCache{p: p}
+	}
+	return d
 }
 
 // normTolerance bounds the accepted deviation of a probability vector's sum
@@ -44,7 +96,7 @@ func NewDist(p []float64) (Dist, error) {
 	}
 	q := make([]float64, len(p))
 	copy(q, p)
-	return Dist{p: q}, nil
+	return distFromOwned(q), nil
 }
 
 // Normalize builds a distribution proportional to the given non-negative
@@ -67,7 +119,7 @@ func Normalize(w []float64) (Dist, error) {
 	for i, v := range w {
 		p[i] = v / sum
 	}
-	return Dist{p: p}, nil
+	return distFromOwned(p), nil
 }
 
 // Point returns the deterministic distribution concentrated on outcome x
@@ -81,7 +133,7 @@ func Point(size, x int) (Dist, error) {
 	}
 	p := make([]float64, size)
 	p[x] = 1
-	return Dist{p: p}, nil
+	return distFromOwned(p), nil
 }
 
 // Uniform returns the uniform distribution over size outcomes.
@@ -93,7 +145,7 @@ func Uniform(size int) (Dist, error) {
 	for i := range p {
 		p[i] = 1 / float64(size)
 	}
-	return Dist{p: p}, nil
+	return distFromOwned(p), nil
 }
 
 // Bernoulli returns the distribution on {0, 1} with P(1) = p.
@@ -101,7 +153,7 @@ func Bernoulli(p float64) (Dist, error) {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		return Dist{}, fmt.Errorf("prob: Bernoulli parameter %v outside [0,1]", p)
 	}
-	return Dist{p: []float64{1 - p, p}}, nil
+	return distFromOwned([]float64{1 - p, p}), nil
 }
 
 // Size returns the support size.
@@ -122,9 +174,73 @@ func (d Dist) Probs() []float64 {
 	return out
 }
 
-// Sample draws one outcome using src.
+// ProbsInto appends the probability vector to dst[:0] and returns the
+// result, reusing dst's backing array when it has capacity. It is the
+// allocation-free counterpart of Probs for hot loops that own a scratch
+// slice.
+func (d Dist) ProbsInto(dst []float64) []float64 {
+	return append(dst[:0], d.p...)
+}
+
+// Sample draws one outcome using src. Distributions with at least
+// cdfMinSize outcomes sample through a cached prefix-sum table (built on
+// first use); the table stores the identical in-order partial sums the
+// linear scan accumulates, so both paths return the same outcome for the
+// same uniform draw.
 func (d Dist) Sample(src *rng.Source) int {
-	u := src.Float64()
+	return d.sampleIndex(src.Float64())
+}
+
+// Uncached returns a copy of d that samples through the linear scan even
+// on large supports. It exists for benchmarks and equivalence tests that
+// compare the two sampling paths; production callers never need it.
+func (d Dist) Uncached() Dist {
+	return Dist{p: d.p}
+}
+
+// Cached returns a copy of d that samples through the prefix-sum table
+// regardless of support size. Like Uncached, it exists so benchmarks and
+// equivalence tests can exercise the cached path on supports below
+// cdfMinSize; production callers rely on the size heuristic.
+func (d Dist) Cached() Dist {
+	if d.cdf != nil {
+		return d
+	}
+	return Dist{p: d.p, cdf: &cdfCache{p: d.p}}
+}
+
+// sampleIndex maps a uniform draw u ∈ [0,1) to an outcome.
+func (d Dist) sampleIndex(u float64) int {
+	if c := d.cdf; c != nil {
+		c.once.Do(c.build)
+		// Branchless lower bound: find the smallest i with u < cum[i].
+		// The invariant is that the answer (if any) lies in [base,
+		// base+n); when the probe is ≤ u the whole left half is
+		// excluded, otherwise the range merely shrinks — either way n
+		// strictly decreases, and the single data-dependent branch
+		// compiles to a conditional move.
+		cum := c.cum
+		base, n := 0, len(cum)
+		for n > 1 {
+			half := n >> 1
+			if cum[base+half-1] <= u {
+				base += half
+			}
+			n -= half
+		}
+		if u < cum[base] {
+			return base
+		}
+		// u ≥ total mass (floating-point slack): same fallback as the
+		// linear scan, precomputed at table-build time.
+		return c.last
+	}
+	return d.sampleIndexLinear(u)
+}
+
+// sampleIndexLinear is the original scan kept as the small-support path
+// and as the reference the cached path is pinned against in tests.
+func (d Dist) sampleIndexLinear(u float64) int {
 	acc := 0.0
 	for i, v := range d.p {
 		acc += v
@@ -186,7 +302,7 @@ func Mix(d, e Dist, w float64) (Dist, error) {
 	for i := range p {
 		p[i] = w*d.p[i] + (1-w)*e.p[i]
 	}
-	return Dist{p: p}, nil
+	return distFromOwned(p), nil
 }
 
 // Conditional returns d conditioned on the outcome lying in keep (a
@@ -214,7 +330,7 @@ func Product(d, e Dist) Dist {
 			p[x*e.Size()+y] = px * py
 		}
 	}
-	return Dist{p: p}
+	return distFromOwned(p)
 }
 
 // Empirical builds the empirical (maximum-likelihood) distribution of the
@@ -242,11 +358,11 @@ func BinomialPMF(n int, p float64) (Dist, error) {
 	probs := make([]float64, n+1)
 	if p == 0 {
 		probs[0] = 1
-		return Dist{p: probs}, nil
+		return distFromOwned(probs), nil
 	}
 	if p == 1 {
 		probs[n] = 1
-		return Dist{p: probs}, nil
+		return distFromOwned(probs), nil
 	}
 	lp, lq := math.Log(p), math.Log1p(-p)
 	for k := 0; k <= n; k++ {

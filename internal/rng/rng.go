@@ -55,6 +55,24 @@ func (s *Source) Uint64() uint64 {
 	return splitmix64(&s.state)
 }
 
+// Uint64s fills dst with the next len(dst) outputs of the stream. The
+// result is identical to calling Uint64 once per element; the batch form
+// exists so hot loops can amortize the pointer dereference and bounds
+// checks of per-draw calls. The state advances by exactly len(dst) draws,
+// so Mark/DrawsSince accounting still reconciles: a batch fill of n words
+// counts as n draws.
+func (s *Source) Uint64s(dst []uint64) {
+	st := s.state
+	for i := range dst {
+		st += gamma
+		z := st
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		dst[i] = z ^ (z >> 31)
+	}
+	s.state = st
+}
+
 // Mark is an opaque stream position captured by Source.Mark.
 type Mark struct {
 	state uint64

@@ -339,3 +339,48 @@ func TestMarkDrawsSince(t *testing.T) {
 		t.Fatalf("Split consumed %d raw draws, want 1", got)
 	}
 }
+
+func TestUint64sMatchesSequentialDraws(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a, b := New(99), New(99)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = a.Uint64()
+		}
+		got := make([]uint64, n)
+		b.Uint64s(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Uint64s[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		// Both streams must be at the same position afterwards.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: streams diverge after batch fill", n)
+		}
+	}
+}
+
+func TestUint64sDrawAccounting(t *testing.T) {
+	s := New(7)
+	m := s.Mark()
+	buf := make([]uint64, 321)
+	s.Uint64s(buf)
+	if got := s.DrawsSince(m); got != 321 {
+		t.Fatalf("batch of 321 counted as %d draws", got)
+	}
+	s.Uint64s(nil)
+	s.Uint64s(buf[:0])
+	if got := s.DrawsSince(m); got != 321 {
+		t.Fatalf("empty batch fills consumed draws: %d", got)
+	}
+}
+
+func BenchmarkUint64sBatch(b *testing.B) {
+	s := New(1)
+	buf := make([]uint64, 1024)
+	b.SetBytes(int64(len(buf) * 8))
+	for i := 0; i < b.N; i++ {
+		s.Uint64s(buf)
+	}
+}

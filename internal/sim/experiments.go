@@ -83,8 +83,10 @@ func E1DisjScalingN(cfg Config) (*Table, error) {
 	err := sweepRows(cfg, t, rng.New(cfg.Seed), len(ns), func(cell int, src *rng.Source) ([]string, error) {
 		n := ns[cell]
 		var bits []float64
+		var inst *disj.Instance
 		for tr := 0; tr < trials; tr++ {
-			inst, err := disj.GenerateFromMuN(src, n, k)
+			var err error
+			inst, err = disj.GenerateFromMuNInto(inst, src, n, k)
 			if err != nil {
 				return nil, err
 			}
@@ -133,8 +135,10 @@ func E2DisjScalingK(cfg Config) (*Table, error) {
 	err := sweepRows(cfg, t, rng.New(cfg.Seed+1), len(ks), func(cell int, src *rng.Source) ([]string, error) {
 		k := ks[cell]
 		var bits []float64
+		var inst *disj.Instance
 		for tr := 0; tr < trials; tr++ {
-			inst, err := disj.GenerateFromMuN(src, n, k)
+			var err error
+			inst, err = disj.GenerateFromMuNInto(inst, src, n, k)
 			if err != nil {
 				return nil, err
 			}
@@ -182,8 +186,10 @@ func E3NaiveVsOptimal(cfg Config) (*Table, error) {
 	err := sweepRows(cfg, t, rng.New(cfg.Seed+2), len(grid), func(cell int, src *rng.Source) ([]string, error) {
 		g := grid[cell]
 		var naive, opt []float64
+		var inst *disj.Instance
 		for tr := 0; tr < trials; tr++ {
-			inst, err := disj.GenerateFromMuN(src, g.n, g.k)
+			var err error
+			inst, err = disj.GenerateFromMuNInto(inst, src, g.n, g.k)
 			if err != nil {
 				return nil, err
 			}
@@ -748,8 +754,9 @@ func E10RejectionSampler(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		total := 0
+		tr := compress.NewTransmitter()
 		for i := 0; i < trials; i++ {
-			res, err := compress.Transmit(eta, nu, public)
+			res, err := tr.Transmit(eta, nu, public)
 			if err != nil {
 				return nil, err
 			}
@@ -944,13 +951,15 @@ func E14Ablations(cfg Config) (*Table, error) {
 		g := grid[cell]
 		n, k := g.n, g.k
 		var full, noBatch, noEnd []float64
+		var muInst *disj.Instance
 		for tr := 0; tr < trials; tr++ {
 			var inst *disj.Instance
 			var err error
 			if g.kind == "skew" {
 				inst, err = skewedInstance(n, k)
 			} else {
-				inst, err = disj.GenerateFromMuN(src, n, k)
+				muInst, err = disj.GenerateFromMuNInto(muInst, src, n, k)
+				inst = muInst
 			}
 			if err != nil {
 				return nil, err
@@ -1108,8 +1117,10 @@ func E16CostBreakdown(cfg Config) (*Table, error) {
 	err := sweepRows(cfg, t, rng.New(cfg.Seed+16), len(grid), func(cell int, src *rng.Source) ([]string, error) {
 		g := grid[cell]
 		var tot, pass, batch, end, cycles, perCoord []float64
+		var inst *disj.Instance
 		for tr := 0; tr < trials; tr++ {
-			inst, err := disj.GenerateFromMuN(src, g.n, g.k)
+			var err error
+			inst, err = disj.GenerateFromMuNInto(inst, src, g.n, g.k)
 			if err != nil {
 				return nil, err
 			}

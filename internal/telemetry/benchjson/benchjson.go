@@ -252,21 +252,39 @@ func (v Verdict) String() string {
 	}
 }
 
-// Finding is one per-entry comparison result.
+// Finding is one per-entry, per-metric comparison result.
 type Finding struct {
-	Name     string
-	Verdict  Verdict
-	Ratio    float64 // current/baseline ns/op (0 when not comparable)
-	Baseline float64 // baseline ns/op
-	Current  float64 // current ns/op
+	Name    string
+	Verdict Verdict
+	// Metric names the compared dimension: "ns/op" (timing) or
+	// "allocs/op" (heap allocation count). Timing and allocation findings
+	// for the same op are reported separately — an op can hold its speed
+	// while leaking allocations, and the gate must see both.
+	Metric   string
+	Ratio    float64 // current/baseline (0 when not comparable)
+	Baseline float64
+	Current  float64
 	Note     string
 }
+
+// Metric names used in Finding.Metric.
+const (
+	MetricNs     = "ns/op"
+	MetricAllocs = "allocs/op"
+)
 
 // CompareOptions tunes Compare.
 type CompareOptions struct {
 	// MaxRegress is the blocking ns/op ratio slack: current > baseline ×
 	// (1+MaxRegress) on a gated op is a Regression. Default 0.25.
 	MaxRegress float64
+	// MaxAllocRegress is the blocking allocs/op ratio slack, checked
+	// whenever both entries record allocation counts. Allocation counts
+	// are deterministic — unlike ns/op they carry no timer noise — so the
+	// default threshold is tighter: 0.10 (+10%). Cross-hardware runs
+	// still downgrade to warnings (different GOMAXPROCS shifts pool and
+	// shard behavior). Set to a negative value to disable alloc gating.
+	MaxAllocRegress float64
 	// Gated selects the ops whose regressions block (nil: all ops gated).
 	Gated func(name string) bool
 	// CompareMin gates on MinNsPerOp instead of mean ns/op when both
@@ -304,6 +322,9 @@ func Compare(baseline, current *File, opts CompareOptions) (*Report, error) {
 	if opts.MaxRegress <= 0 {
 		opts.MaxRegress = 0.25
 	}
+	if opts.MaxAllocRegress == 0 {
+		opts.MaxAllocRegress = 0.10
+	}
 	rep := &Report{SameHost: baseline.Host == current.Host}
 	names := make(map[string]bool)
 	for _, e := range baseline.Entries {
@@ -331,31 +352,44 @@ func Compare(baseline, current *File, opts CompareOptions) (*Report, error) {
 		if opts.CompareMin && b.MinNsPerOp > 0 && c.MinNsPerOp > 0 {
 			bNs, cNs = b.MinNsPerOp, c.MinNsPerOp
 		}
-		f := Finding{Name: name, Baseline: bNs, Current: cNs}
 		if bNs <= 0 {
-			f.Verdict = Warning
-			f.Note = "baseline has no timing"
-			rep.Findings = append(rep.Findings, f)
-			continue
+			rep.Findings = append(rep.Findings, Finding{
+				Name: name, Metric: MetricNs, Verdict: Warning,
+				Baseline: bNs, Current: cNs, Note: "baseline has no timing",
+			})
+		} else {
+			rep.Findings = append(rep.Findings,
+				classify(name, MetricNs, bNs, cNs, opts.MaxRegress, rep.SameHost, opts.Gated))
 		}
-		f.Ratio = cNs / bNs
-		switch {
-		case f.Ratio > 1+opts.MaxRegress:
-			f.Verdict = Regression
-			switch {
-			case !rep.SameHost:
-				f.Verdict = Warning
-				f.Note = "cross-hardware comparison; not blocking"
-			case opts.Gated != nil && !opts.Gated(name):
-				f.Verdict = Warning
-				f.Note = "op not gated; not blocking"
-			}
-		case f.Ratio < 1-opts.MaxRegress:
-			f.Verdict = Improvement
-		default:
-			f.Verdict = OK
+		// Allocation gate: only when both runs recorded allocation counts
+		// (older baselines predate the field).
+		if opts.MaxAllocRegress > 0 && b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			rep.Findings = append(rep.Findings,
+				classify(name, MetricAllocs, b.AllocsPerOp, c.AllocsPerOp, opts.MaxAllocRegress, rep.SameHost, opts.Gated))
 		}
-		rep.Findings = append(rep.Findings, f)
 	}
 	return rep, nil
+}
+
+// classify grades one metric pair against a regression threshold, applying
+// the cross-host and gating downgrades.
+func classify(name, metric string, base, cur, maxRegress float64, sameHost bool, gated func(string) bool) Finding {
+	f := Finding{Name: name, Metric: metric, Baseline: base, Current: cur, Ratio: cur / base}
+	switch {
+	case f.Ratio > 1+maxRegress:
+		f.Verdict = Regression
+		switch {
+		case !sameHost:
+			f.Verdict = Warning
+			f.Note = "cross-hardware comparison; not blocking"
+		case gated != nil && !gated(name):
+			f.Verdict = Warning
+			f.Note = "op not gated; not blocking"
+		}
+	case f.Ratio < 1-maxRegress:
+		f.Verdict = Improvement
+	default:
+		f.Verdict = OK
+	}
+	return f
 }

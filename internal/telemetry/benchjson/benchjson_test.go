@@ -251,3 +251,70 @@ func TestCompareScaleMismatch(t *testing.T) {
 		t.Fatal("Compare accepted mismatched scales")
 	}
 }
+
+func TestCompareAllocsPerOp(t *testing.T) {
+	mk := func(ns, allocs float64) *File {
+		f := New("quick", 4)
+		f.AddEntry(Entry{Name: "BenchmarkX", Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs})
+		return f
+	}
+	findingFor := func(rep *Report, metric string) *Finding {
+		for i := range rep.Findings {
+			if rep.Findings[i].Metric == metric {
+				return &rep.Findings[i]
+			}
+		}
+		return nil
+	}
+
+	// +15% allocations blocks at the default +10% threshold even when
+	// timing is flat.
+	rep, err := Compare(mk(100, 1000), mk(100, 1150), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := findingFor(rep, MetricAllocs)
+	if af == nil || af.Verdict != Regression {
+		t.Fatalf("alloc +15%%: finding %+v, want REGRESSION", af)
+	}
+	if nf := findingFor(rep, MetricNs); nf == nil || nf.Verdict != OK {
+		t.Fatalf("flat timing misreported: %+v", nf)
+	}
+	if len(rep.Blocking()) != 1 {
+		t.Fatalf("want exactly the alloc finding blocking, got %+v", rep.Blocking())
+	}
+
+	// +5% stays inside the slack; -50% is an improvement.
+	rep, err = Compare(mk(100, 1000), mk(100, 1050), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af := findingFor(rep, MetricAllocs); af == nil || af.Verdict != OK {
+		t.Fatalf("alloc +5%%: finding %+v, want ok", af)
+	}
+	rep, err = Compare(mk(100, 1000), mk(100, 500), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af := findingFor(rep, MetricAllocs); af == nil || af.Verdict != Improvement {
+		t.Fatalf("alloc -50%%: finding %+v, want improvement", af)
+	}
+
+	// Entries without allocation counts produce no alloc finding at all.
+	rep, err = Compare(mk(100, 0), mk(100, 1150), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af := findingFor(rep, MetricAllocs); af != nil {
+		t.Fatalf("alloc finding without baseline data: %+v", af)
+	}
+
+	// Negative threshold disables the gate.
+	rep, err = Compare(mk(100, 1000), mk(100, 9000), CompareOptions{MaxAllocRegress: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af := findingFor(rep, MetricAllocs); af != nil {
+		t.Fatalf("disabled alloc gate still compared: %+v", af)
+	}
+}
