@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/telemetry/benchjson"
 )
 
@@ -34,9 +35,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxAllocs    = fs.Float64("max-alloc-regress", 0.10, "blocking allocs/op regression ratio (0.10 = +10%; negative disables)")
 		useMin       = fs.Bool("min", true, "compare min-of-samples ns/op when available (noise floor)")
 		gatedOps     = fs.String("gate", "", "comma-separated op names to gate (empty: gate all ops)")
+		version      = buildinfo.Flag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Resolve())
+		return 0
 	}
 	if *currentPath == "" {
 		fmt.Fprintln(stderr, "benchgate: -current is required")

@@ -1,0 +1,180 @@
+// Command broadcasticd runs the experiment suite behind a live
+// observability plane: while experiments execute (and, by default, after
+// they finish), it serves
+//
+//	/metrics       Prometheus text exposition of the shared collector
+//	/healthz       liveness + build identity JSON
+//	/runs          per-experiment progress (NDJSON; ?follow=1 or SSE streams)
+//	/debug/pprof/  runtime profiles
+//
+// Usage:
+//
+//	broadcasticd [-serve 127.0.0.1:8344] [-seed N] [-scale quick|full]
+//	             [-only E4,E7] [-parallel N] [-once] [-runtrace dir]
+//	             [-log level] [-logformat text|json] [-version]
+//
+// Tables print to stdout exactly as cmd/experiments prints them; the
+// serving, tracing and logging planes only observe, so stdout is
+// byte-identical to an unobserved run with the same seed and scale. With
+// -runtrace, each experiment additionally writes a Chrome trace-event
+// file <dir>/<ID>-seed<N>.trace.json, openable at ui.perfetto.dev.
+//
+// Without -once the process keeps serving after the suite completes (so
+// dashboards can scrape final totals) until SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"broadcastic/internal/buildinfo"
+	"broadcastic/internal/serve"
+	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/tracelog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "broadcasticd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("broadcasticd", flag.ContinueOnError)
+	addr := fs.String("serve", "127.0.0.1:8344", "address for the observability plane (\":0\" picks a free port)")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	scale := fs.String("scale", "quick", "experiment scale: quick or full")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
+	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU); output is identical for every value")
+	once := fs.Bool("once", false, "exit when the suite completes instead of serving until a signal")
+	runtrace := fs.String("runtrace", "", "directory for per-experiment Chrome trace-event files")
+	var logCfg telemetry.LogConfig
+	logCfg.AddFlags(fs)
+	version := buildinfo.Flag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Resolve())
+		return nil
+	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{Seed: *seed, Workers: *parallel}
+	switch *scale {
+	case "quick":
+		cfg.Scale = sim.Quick
+	case "full":
+		cfg.Scale = sim.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	selected, err := selectExperiments(*only)
+	if err != nil {
+		return err
+	}
+	if *runtrace != "" {
+		if err := os.MkdirAll(*runtrace, 0o755); err != nil {
+			return err
+		}
+	}
+
+	col := telemetry.NewCollector()
+	broker := serve.NewBroker()
+	srv, err := serve.Start(*addr, serve.NewMux(col, broker))
+	if err != nil {
+		return err
+	}
+	logger.Info("observability plane up",
+		"addr", srv.Addr(), "scale", *scale, "seed", *seed, "experiments", len(selected))
+
+	// Experiments run sequentially: the daemon's point is a legible live
+	// view, and one experiment at a time keeps /runs progress and the
+	// /metrics deltas attributable. Each sweep still parallelizes its
+	// cells across the worker pool.
+	for _, exp := range selected {
+		runID := fmt.Sprintf("%s-seed%d", exp.ID, *seed)
+		ecfg := cfg
+		ecfg.Recorder = col
+		var sink *tracelog.Sink
+		if *runtrace != "" {
+			sink = tracelog.New(runID, col)
+			ecfg.Recorder = sink
+		}
+		ecfg.Progress = broker.ProgressFunc(runID, exp.ID, col)
+		logger.Info("experiment start", "id", exp.ID, "runId", runID)
+		start := time.Now()
+		tbl, err := exp.Run(ecfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		logger.Info("experiment done", "id", exp.ID, "elapsed", time.Since(start),
+			"blackboardBits", col.Counter(telemetry.BlackboardBits),
+			"wireBits", col.Counter(telemetry.NetrunWireBits))
+		if sink != nil {
+			path := filepath.Join(*runtrace, tracelog.FileName(runID))
+			if err := writeTrace(path, sink); err != nil {
+				return err
+			}
+			logger.Info("trace written", "id", exp.ID, "path", path)
+		}
+	}
+
+	if !*once {
+		logger.Info("suite complete; serving until SIGINT/SIGTERM", "addr", srv.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+func selectExperiments(only string) ([]sim.Experiment, error) {
+	all := sim.Experiments()
+	if only == "" {
+		return all, nil
+	}
+	byID := make(map[string]sim.Experiment, len(all))
+	for _, exp := range all {
+		byID[exp.ID] = exp
+	}
+	var selected []sim.Experiment
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		exp, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		selected = append(selected, exp)
+	}
+	return selected, nil
+}
+
+func writeTrace(path string, sink *tracelog.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sink.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

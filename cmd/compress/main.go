@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"broadcastic/internal/andk"
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/compress"
 	"broadcastic/internal/core"
 	"broadcastic/internal/dist"
@@ -41,6 +42,9 @@ func run(args []string) error {
 		return runSampler(args[1:])
 	case "amortized":
 		return runAmortized(args[1:])
+	case "-version", "--version":
+		fmt.Println(buildinfo.Resolve())
+		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/disj"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
@@ -33,10 +34,15 @@ func run(args []string) error {
 	protocol := fs.String("protocol", "both", "protocol: optimal, naive or both")
 	trials := fs.Int("trials", 3, "number of instances")
 	seed := fs.Uint64("seed", 1, "random seed")
+	version := buildinfo.Flag(fs)
 	var profiles telemetry.Profiles
 	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Resolve())
+		return nil
 	}
 	stopProfiles, err := profiles.Start()
 	if err != nil {

@@ -4,25 +4,36 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale quick|full] [-only E4,E7] [-parallel N]
-//	            [-telemetry out.json] [-cpuprofile f] [-memprofile f] [-tracefile f]
+//	            [-telemetry out.json] [-serve addr] [-runtrace dir]
+//	            [-log level] [-logformat text|json] [-version]
+//	            [-cpuprofile f] [-memprofile f] [-tracefile f]
 //
 // With -telemetry, each experiment runs with a telemetry collector attached
 // and one benchjson entry per experiment (wall time, recorded bits, full
 // metric snapshot) is written to out.json — the same schema the benchmark
-// suite and CI perf gate use. Tables are bit-identical with or without it.
+// suite and CI perf gate use. With -serve, the observability plane
+// (/metrics, /healthz, /runs, /debug/pprof) is up for the duration of the
+// run over a shared live collector; with -runtrace, each experiment writes
+// a Chrome trace-event file to the given directory. All of it only
+// observes: tables are bit-identical with every combination enabled.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/pool"
+	"broadcastic/internal/serve"
 	"broadcastic/internal/sim"
 	"broadcastic/internal/telemetry"
 	"broadcastic/internal/telemetry/benchjson"
+	"broadcastic/internal/telemetry/tracelog"
 )
 
 func main() {
@@ -39,9 +50,22 @@ func run(args []string, out *os.File) error {
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU); output is identical for every value")
 	telemetryPath := fs.String("telemetry", "", "write per-experiment benchjson telemetry to this file")
+	serveAddr := fs.String("serve", "", "serve /metrics, /healthz, /runs and /debug/pprof on this address for the duration of the run")
+	runtrace := fs.String("runtrace", "", "directory for per-experiment Chrome trace-event files")
+	var logCfg telemetry.LogConfig
+	logCfg.AddFlags(fs)
+	version := buildinfo.Flag(fs)
 	var profiles telemetry.Profiles
 	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.Resolve())
+		return nil
+	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	stopProfiles, err := profiles.Start()
@@ -81,29 +105,83 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	// The live plane: one collector shared by every experiment feeds
+	// /metrics, a broker feeds /runs. Both strictly observe.
+	var (
+		live   *telemetry.Collector
+		broker *serve.Broker
+		srv    *serve.Server
+	)
+	if *serveAddr != "" {
+		live = telemetry.NewCollector()
+		broker = serve.NewBroker()
+		srv, err = serve.Start(*serveAddr, serve.NewMux(live, broker))
+		if err != nil {
+			return err
+		}
+		logger.Info("observability plane up", "addr", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: serve:", err)
+			}
+		}()
+	}
+	if *runtrace != "" {
+		if err := os.MkdirAll(*runtrace, 0o755); err != nil {
+			return err
+		}
+	}
+
 	type result struct {
 		table   *sim.Table
 		elapsed time.Duration
 		metrics map[string]float64
 	}
 	// Experiments are independent: run them on the pool like sim.All does,
-	// each with its own collector so per-experiment metrics don't mix.
+	// each with its own collector so per-experiment metrics don't mix. The
+	// live collector, trace sink and progress hook tee alongside.
 	results, err := pool.Map(pool.Workers(cfg.Workers), len(selected), func(i int) (result, error) {
+		exp := selected[i]
+		runID := fmt.Sprintf("%s-seed%d", exp.ID, *seed)
 		ecfg := cfg
 		var rec *telemetry.Collector
+		var recs []telemetry.Recorder
 		if *telemetryPath != "" {
 			rec = telemetry.NewCollector()
-			ecfg.Recorder = rec
+			recs = append(recs, rec)
 		}
+		if live != nil {
+			recs = append(recs, live)
+		}
+		ecfg.Recorder = telemetry.Multi(recs...)
+		var sink *tracelog.Sink
+		if *runtrace != "" {
+			sink = tracelog.New(runID, ecfg.Recorder)
+			ecfg.Recorder = sink
+		}
+		if broker != nil {
+			ecfg.Progress = broker.ProgressFunc(runID, exp.ID, live)
+		}
+		logger.Info("experiment start", "id", exp.ID, "runId", runID)
 		start := time.Now()
-		tbl, err := selected[i].Run(ecfg)
+		tbl, err := exp.Run(ecfg)
 		if err != nil {
-			return result{}, fmt.Errorf("%s: %w", selected[i].ID, err)
+			return result{}, fmt.Errorf("%s: %w", exp.ID, err)
 		}
 		r := result{table: tbl, elapsed: time.Since(start)}
 		if rec != nil {
 			r.metrics = rec.Snapshot()
 		}
+		if sink != nil {
+			path := filepath.Join(*runtrace, tracelog.FileName(runID))
+			if err := writeTrace(path, sink); err != nil {
+				return result{}, err
+			}
+			logger.Info("trace written", "id", exp.ID, "path", path)
+		}
+		logger.Info("experiment done", "id", exp.ID, "elapsed", r.elapsed)
 		return r, nil
 	})
 	if err != nil {
@@ -134,4 +212,16 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+func writeTrace(path string, sink *tracelog.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sink.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

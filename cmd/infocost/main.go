@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"broadcastic/internal/andk"
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/core"
 	"broadcastic/internal/dist"
 	"broadcastic/internal/rng"
@@ -37,10 +38,15 @@ func run(args []string) error {
 	samples := fs.Int("samples", 20000, "Monte-Carlo samples")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "Monte-Carlo worker goroutines (0 = one per CPU); estimates are identical for every value")
+	version := buildinfo.Flag(fs)
 	var profiles telemetry.Profiles
 	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Resolve())
+		return nil
 	}
 	stopProfiles, err := profiles.Start()
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/intersect"
 	"broadcastic/internal/pointwise"
 	"broadcastic/internal/rng"
@@ -35,6 +36,9 @@ func run(args []string) error {
 		return runSparse(args[1:])
 	case "union":
 		return runUnion(args[1:])
+	case "-version", "--version":
+		fmt.Println(buildinfo.Resolve())
+		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -9,21 +9,33 @@
 //	netdisj [-n 1024] [-k 6] [-kind mun|disjoint|intersecting]
 //	        [-transport chan|pipe|tcp] [-faults "drop=0.05,corrupt=0.02"]
 //	        [-seed 1] [-timeout 250ms] [-retries 12] [-trials 2]
+//	        [-serve addr] [-runtrace dir] [-log level] [-version]
+//
+// With -serve, the observability plane (/metrics, /healthz, /runs,
+// /debug/pprof) is up for the duration of the run; with -runtrace, each
+// trial writes a Chrome trace-event file netdisj-seed<N>-trial<T> to the
+// given directory. Neither perturbs the run: stdout and the conformance
+// checks are identical with or without them.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"broadcastic/internal/blackboard"
+	"broadcastic/internal/buildinfo"
 	"broadcastic/internal/disj"
 	"broadcastic/internal/faults"
 	"broadcastic/internal/netrun"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/serve"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/tracelog"
 )
 
 func main() {
@@ -44,9 +56,22 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 250*time.Millisecond, "base per-attempt ARQ timeout")
 	retries := fs.Int("retries", 12, "retransmission budget per frame")
 	trials := fs.Int("trials", 2, "number of instances")
+	serveAddr := fs.String("serve", "", "serve /metrics, /healthz, /runs and /debug/pprof on this address for the duration of the run")
+	runtrace := fs.String("runtrace", "", "directory for per-trial Chrome trace-event files")
+	var logCfg telemetry.LogConfig
+	logCfg.AddFlags(fs)
+	version := buildinfo.Flag(fs)
 	var profiles telemetry.Profiles
 	profiles.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Resolve())
+		return nil
+	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
 		return err
 	}
 	stopProfiles, err := profiles.Start()
@@ -73,6 +98,35 @@ func run(args []string) error {
 	plan, err := faults.Parse(*faultSpec)
 	if err != nil {
 		return err
+	}
+
+	// The live plane (optional): one collector for /metrics, a broker for
+	// per-trial /runs progress. Both strictly observe.
+	var (
+		col      *telemetry.Collector
+		progress func(done, total int)
+	)
+	if *serveAddr != "" {
+		col = telemetry.NewCollector()
+		broker := serve.NewBroker()
+		srv, err := serve.Start(*serveAddr, serve.NewMux(col, broker))
+		if err != nil {
+			return err
+		}
+		logger.Info("observability plane up", "addr", srv.Addr())
+		progress = broker.ProgressFunc(fmt.Sprintf("netdisj-seed%d", *seed), "netdisj", col)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "netdisj: serve:", err)
+			}
+		}()
+	}
+	if *runtrace != "" {
+		if err := os.MkdirAll(*runtrace, 0o755); err != nil {
+			return err
+		}
 	}
 
 	src := rng.New(*seed)
@@ -117,6 +171,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		runID := fmt.Sprintf("netdisj-seed%d-trial%d", *seed, t)
+		var rec telemetry.Recorder
+		if col != nil {
+			rec = col
+		}
+		var sink *tracelog.Sink
+		if *runtrace != "" {
+			sink = tracelog.New(runID, rec)
+			rec = sink
+		}
 		res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
 			Transport:  tr,
 			Faults:     plan,
@@ -124,7 +188,20 @@ func run(args []string) error {
 			Timeout:    *timeout,
 			MaxRetries: *retries,
 			Limits:     proto.Limits(),
+			Recorder:   rec,
 		})
+		if sink != nil {
+			// Written even for crashed trials: a trace of the failure is
+			// exactly what the flag is for.
+			path := filepath.Join(*runtrace, tracelog.FileName(runID))
+			if werr := writeTrace(path, sink); werr != nil {
+				return werr
+			}
+			logger.Info("trace written", "trial", t, "path", path)
+		}
+		if progress != nil {
+			progress(t+1, *trials)
+		}
 		if err != nil {
 			if errors.Is(err, netrun.ErrPlayerCrashed) && res != nil {
 				fmt.Printf("trial %d: crashed players %v after %d messages (%d board bits)\n",
@@ -155,6 +232,18 @@ func run(args []string) error {
 		fmt.Printf("  faults injected: drop=%d dup=%d corrupt=%d delay=%d\n", c.Drops, c.Duplicates, c.Corruptions, c.Delays)
 	}
 	return nil
+}
+
+func writeTrace(path string, sink *tracelog.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := sink.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func totalRetries(s netrun.Stats) int64 {

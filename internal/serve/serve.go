@@ -1,0 +1,331 @@
+// Package serve is the live observability plane: a zero-dependency HTTP
+// surface exposing the process's telemetry while experiments run.
+//
+//   - /metrics — Prometheus text exposition of a telemetry.Collector
+//     (internal/telemetry/promtext), scrapeable by any Prometheus-
+//     compatible agent.
+//   - /healthz — liveness JSON with the binary's build identity.
+//   - /runs — per-run progress (cells done/total, recorded bits, elapsed
+//     and ETA) as an NDJSON snapshot; with ?follow=1 or an SSE Accept
+//     header, the snapshot is followed by a live stream of updates.
+//   - /debug/pprof/ — the standard runtime profiles.
+//
+// The plane strictly observes: handlers read Collector snapshots and
+// Broker state, never experiment internals, so serving cannot perturb any
+// deterministic output. The e2e tests pin that tables rendered with the
+// plane attached are byte-identical to tables rendered without it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"broadcastic/internal/buildinfo"
+	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/promtext"
+)
+
+// RunProgress is one run's live state as published to /runs. A run is one
+// experiment execution (e.g. "E7" within run "all-seed1"); every update
+// carries the full state, so consumers need no history to render it.
+type RunProgress struct {
+	// RunID identifies the enclosing invocation (stable across reruns of
+	// the same configuration, e.g. "E7-seed1").
+	RunID string `json:"runId"`
+	// Experiment is the experiment ID ("E1".."E20").
+	Experiment string `json:"experiment"`
+	// CellsDone and CellsTotal count completed sweep cells. Updates may be
+	// observed slightly out of order (the hooks fire from pool workers);
+	// CellsDone is monotone at the source.
+	CellsDone  int `json:"cellsDone"`
+	CellsTotal int `json:"cellsTotal"`
+	// Bits is the cumulative recorded communication (blackboard + wire) at
+	// publish time, from the attached Collector.
+	Bits int64 `json:"bits"`
+	// ElapsedMs is wall time since the run started; EtaMs linearly
+	// extrapolates the remaining cells (0 until the first cell lands).
+	ElapsedMs int64 `json:"elapsedMs"`
+	EtaMs     int64 `json:"etaMs"`
+	// Done marks the final update of a run.
+	Done bool `json:"done"`
+}
+
+func (p RunProgress) key() string { return p.RunID + "\x00" + p.Experiment }
+
+// Broker fans run-progress updates out to any number of /runs streams
+// while remembering the latest state per run for snapshots. All methods
+// are safe for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	latest map[string]RunProgress
+	order  []string // keys in first-publish order, for stable snapshots
+	subs   map[chan RunProgress]struct{}
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		latest: make(map[string]RunProgress),
+		subs:   make(map[chan RunProgress]struct{}),
+	}
+}
+
+// Publish records p as its run's latest state and forwards it to every
+// subscriber. Slow subscribers lose intermediate updates rather than
+// blocking the publisher: each update carries full state, so the next one
+// heals the gap.
+func (b *Broker) Publish(p RunProgress) {
+	b.mu.Lock()
+	key := p.key()
+	if _, seen := b.latest[key]; !seen {
+		b.order = append(b.order, key)
+	}
+	b.latest[key] = p
+	for ch := range b.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the latest state of every run, in first-publish order.
+func (b *Broker) Snapshot() []RunProgress {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]RunProgress, 0, len(b.order))
+	for _, key := range b.order {
+		out = append(out, b.latest[key])
+	}
+	return out
+}
+
+// Subscribe registers a new stream. The returned channel receives every
+// subsequent Publish (minus drops under backpressure); cancel
+// unregisters it and closes the channel.
+func (b *Broker) Subscribe() (<-chan RunProgress, func()) {
+	ch := make(chan RunProgress, 64)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// bitsCounter is the subset of Collector the progress hook reads.
+type bitsCounter interface {
+	Counter(name string) int64
+}
+
+// ProgressFunc adapts the broker to sim.Config.Progress for one
+// experiment run: each hook call publishes cells done/total, the
+// collector's cumulative bits, elapsed wall time and a linear ETA. col
+// may be nil (bits stay 0). The final cell publishes Done=true.
+func (b *Broker) ProgressFunc(runID, experiment string, col *telemetry.Collector) func(done, total int) {
+	start := time.Now()
+	// A nil *Collector must behave like "no collector", not a panic.
+	var bits bitsCounter
+	if col != nil {
+		bits = col
+	}
+	return func(done, total int) {
+		p := RunProgress{
+			RunID:      runID,
+			Experiment: experiment,
+			CellsDone:  done,
+			CellsTotal: total,
+			ElapsedMs:  time.Since(start).Milliseconds(),
+			Done:       done >= total,
+		}
+		if bits != nil {
+			p.Bits = bits.Counter(telemetry.BlackboardBits) + bits.Counter(telemetry.NetrunWireBits)
+		}
+		if done > 0 && done < total {
+			p.EtaMs = p.ElapsedMs * int64(total-done) / int64(done)
+		}
+		b.Publish(p)
+	}
+}
+
+// NewMux builds the observability mux over a collector and a broker.
+// Either may be nil: nil collector serves an empty exposition, nil broker
+// serves an empty snapshot and no streams.
+func NewMux(col *telemetry.Collector, broker *Broker) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if col == nil {
+			return
+		}
+		if _, err := promtext.WriteCollector(w, col); err != nil {
+			// Headers are gone; nothing to do but stop writing.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		info := buildinfo.Resolve()
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":  "ok",
+			"module":  info.Path,
+			"version": info.Version,
+			"go":      info.GoVersion,
+			"rev":     info.Revision,
+		})
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		serveRuns(w, r, broker)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// wantsSSE reports whether the client asked for a server-sent-events
+// stream (Accept header) rather than NDJSON.
+func wantsSSE(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			if mt, _, _ := strings.Cut(part, ";"); strings.TrimSpace(mt) == "text/event-stream" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// serveRuns writes the current snapshot and, when following, streams
+// subsequent updates until the client disconnects. NDJSON by default; SSE
+// when the Accept header asks for text/event-stream.
+func serveRuns(w http.ResponseWriter, r *http.Request, broker *Broker) {
+	sse := wantsSSE(r)
+	follow := sse || r.URL.Query().Get("follow") == "1"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	emit := func(p RunProgress) error {
+		data, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	// Subscribe before snapshotting so no update published in between is
+	// lost; duplicates with the snapshot are harmless (full state).
+	var updates <-chan RunProgress
+	var cancel func()
+	if broker != nil {
+		if follow {
+			updates, cancel = broker.Subscribe()
+			defer cancel()
+		}
+		for _, p := range broker.Snapshot() {
+			if err := emit(p); err != nil {
+				return
+			}
+		}
+	}
+	if !follow {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-updates:
+			if !ok {
+				return
+			}
+			if err := emit(p); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Server runs the observability mux on a TCP listener.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Start listens on addr (e.g. "127.0.0.1:8344"; ":0" picks a free port)
+// and serves mux in the background. Addr() reports the bound address.
+func Start(addr string, mux http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		http: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.http.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting connections, waits for in-flight requests up
+// to ctx's deadline, and returns the serve loop's error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-s.done
+}
+
+// SortRunIDs orders progress records by run then experiment — handy for
+// tests and table-of-runs rendering; Snapshot order is publish order.
+func SortRunIDs(ps []RunProgress) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].RunID != ps[j].RunID {
+			return ps[i].RunID < ps[j].RunID
+		}
+		return ps[i].Experiment < ps[j].Experiment
+	})
+}

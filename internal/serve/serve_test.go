@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/promtext"
+	"broadcastic/internal/telemetry/tracelog"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpointMatchesCollector(t *testing.T) {
+	col := telemetry.NewCollector()
+	col.Count("blackboard.bits", 1234)
+	col.Count("netrun.link.0.wire_bits", 500)
+	col.Observe("sim.cell_ns", 2048)
+	ts := httptest.NewServer(NewMux(col, NewBroker()))
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	// The endpoint is promtext.WriteCollector verbatim.
+	var want bytes.Buffer
+	if _, err := promtext.WriteCollector(&want, col); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Errorf("/metrics diverges from promtext.WriteCollector:\n%s\n---\n%s", body, want.String())
+	}
+	for _, sample := range []string{"blackboard_bits 1234", "netrun_link_0_wire_bits 500"} {
+		if !strings.Contains(body, sample+"\n") {
+			t.Errorf("/metrics missing sample %q:\n%s", sample, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(NewMux(nil, nil))
+	defer ts.Close()
+	code, body, hdr := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("status = %v", h["status"])
+	}
+	if g, _ := h["go"].(string); g == "" {
+		t.Error("healthz carries no Go version")
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	ts := httptest.NewServer(NewMux(nil, nil))
+	defer ts.Close()
+	code, body, _ := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Error("pprof index lists no profiles")
+	}
+}
+
+func TestBrokerSnapshotAndSubscribe(t *testing.T) {
+	b := NewBroker()
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 1, CellsTotal: 2})
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 2, CellsTotal: 2, Done: true})
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E2", CellsDone: 1, CellsTotal: 5})
+
+	snap := b.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d runs, want 2", len(snap))
+	}
+	// First-publish order, latest state.
+	if snap[0].Experiment != "E1" || snap[0].CellsDone != 2 || !snap[0].Done {
+		t.Errorf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[1].Experiment != "E2" {
+		t.Errorf("snapshot[1] = %+v", snap[1])
+	}
+
+	got := []RunProgress{<-ch, <-ch}
+	if got[0].CellsDone != 2 || got[1].Experiment != "E2" {
+		t.Errorf("subscriber saw %+v", got)
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after cancel")
+	}
+	cancel() // idempotent
+}
+
+func TestBrokerSlowSubscriberDoesNotBlock(t *testing.T) {
+	b := NewBroker()
+	_, cancel := b.Subscribe() // never drained
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			b.Publish(RunProgress{RunID: "r", Experiment: "E1", CellsDone: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+}
+
+func TestProgressFunc(t *testing.T) {
+	b := NewBroker()
+	col := telemetry.NewCollector()
+	col.Count(telemetry.BlackboardBits, 100)
+	col.Count(telemetry.NetrunWireBits, 40)
+	hook := b.ProgressFunc("E9-seed1", "E9", col)
+	hook(1, 4)
+	hook(4, 4)
+	snap := b.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	p := snap[0]
+	if p.RunID != "E9-seed1" || p.Experiment != "E9" {
+		t.Errorf("identity = %q/%q", p.RunID, p.Experiment)
+	}
+	if !p.Done || p.CellsDone != 4 || p.CellsTotal != 4 {
+		t.Errorf("final update = %+v", p)
+	}
+	if p.Bits != 140 {
+		t.Errorf("bits = %d, want 140", p.Bits)
+	}
+	if p.EtaMs != 0 {
+		t.Errorf("done run has eta %d", p.EtaMs)
+	}
+	// Nil collector must not panic and reports zero bits.
+	b2 := NewBroker()
+	b2.ProgressFunc("x", "E1", nil)(1, 2)
+	if got := b2.Snapshot()[0].Bits; got != 0 {
+		t.Errorf("nil-collector bits = %d", got)
+	}
+}
+
+func TestRunsSnapshotNDJSON(t *testing.T) {
+	b := NewBroker()
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 2, CellsTotal: 2, Done: true})
+	ts := httptest.NewServer(NewMux(nil, b))
+	defer ts.Close()
+	code, body, hdr := get(t, ts.URL+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("GET /runs = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var p RunProgress
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &p); err != nil {
+		t.Fatalf("snapshot line is not JSON: %v (%q)", err, body)
+	}
+	if p.RunID != "r1" || !p.Done {
+		t.Errorf("snapshot = %+v", p)
+	}
+}
+
+func TestRunsFollowStreamsUpdates(t *testing.T) {
+	b := NewBroker()
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 1, CellsTotal: 3})
+	ts := httptest.NewServer(NewMux(nil, b))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/runs?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	readLine := func() RunProgress {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var p RunProgress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("stream line is not JSON: %v (%q)", err, sc.Text())
+		}
+		return p
+	}
+
+	if p := readLine(); p.CellsDone != 1 {
+		t.Errorf("snapshot line = %+v", p)
+	}
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 3, CellsTotal: 3, Done: true})
+	if p := readLine(); p.CellsDone != 3 || !p.Done {
+		t.Errorf("streamed update = %+v", p)
+	}
+}
+
+func TestRunsSSE(t *testing.T) {
+	b := NewBroker()
+	b.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 1, CellsTotal: 1, Done: true})
+	ts := httptest.NewServer(NewMux(nil, b))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/runs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no SSE frame: %v", sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("SSE frame = %q", line)
+	}
+	var p RunProgress
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+		t.Fatalf("SSE payload is not JSON: %v", err)
+	}
+	if p.RunID != "r1" {
+		t.Errorf("payload = %+v", p)
+	}
+}
+
+func TestServerStartShutdown(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", NewMux(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz over real listener = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestObservedExperimentEndToEnd is the acceptance pin for the tentpole
+// invariant: an experiment run with the full observability plane attached
+// — shared Collector, Chrome-trace sink, progress hook, live HTTP server
+// — renders a table byte-identical to a bare run, and the /metrics
+// exposition agrees exactly with the final Collector snapshot
+// (blackboard_bits and every netrun_link_*_wire_bits series included).
+func TestObservedExperimentEndToEnd(t *testing.T) {
+	exps := sim.Experiments()
+	var e20 sim.Experiment
+	for _, e := range exps {
+		if e.ID == "E20" {
+			e20 = e
+		}
+	}
+	if e20.Run == nil {
+		t.Fatal("E20 not in registry")
+	}
+	base := sim.Config{Seed: 7, Scale: sim.Quick}
+
+	// Reference: nothing attached.
+	refTbl, err := e20.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	if err := refTbl.Render(&ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Observed: collector + trace sink + progress hook + live server.
+	col := telemetry.NewCollector()
+	broker := NewBroker()
+	ts := httptest.NewServer(NewMux(col, broker))
+	defer ts.Close()
+	sink := tracelog.New("E20-seed7", col)
+	cfg := base
+	cfg.Recorder = sink
+	cfg.Progress = broker.ProgressFunc("E20-seed7", "E20", col)
+	obsTbl, err := e20.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs bytes.Buffer
+	if err := obsTbl.Render(&obs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.Bytes(), obs.Bytes()) {
+		t.Fatalf("observed run diverged from bare run:\n%s\n---\n%s", ref.Bytes(), obs.Bytes())
+	}
+
+	// /metrics must agree exactly with the final collector state.
+	_, body, _ := get(t, ts.URL+"/metrics")
+	sampleValue := func(name string) (float64, bool) {
+		for _, line := range strings.Split(body, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				var v float64
+				if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+					return v, true
+				}
+			}
+		}
+		return 0, false
+	}
+	ex := col.Export()
+	checked := 0
+	for _, c := range ex.Counters {
+		name := promtext.SanitizeName(c.Name)
+		if name != "blackboard_bits" &&
+			!(strings.HasPrefix(name, "netrun_link_") && strings.HasSuffix(name, "_wire_bits")) {
+			continue
+		}
+		got, ok := sampleValue(name)
+		if !ok {
+			t.Errorf("/metrics has no %s sample", name)
+			continue
+		}
+		if got != float64(c.Value) {
+			t.Errorf("%s = %g on /metrics, collector has %d", name, got, c.Value)
+		}
+		checked++
+	}
+	if checked < 2 {
+		t.Fatalf("only %d bit series checked; expected blackboard_bits plus per-link wire bits", checked)
+	}
+
+	// The progress stream saw the run to completion.
+	snap := broker.Snapshot()
+	if len(snap) != 1 || !snap[0].Done || snap[0].CellsDone != snap[0].CellsTotal {
+		t.Fatalf("progress snapshot = %+v", snap)
+	}
+	if snap[0].Bits == 0 {
+		t.Error("progress reported zero bits for an instrumented netrun experiment")
+	}
+
+	// And the trace is parseable with events on it.
+	var traceBuf bytes.Buffer
+	if _, err := sink.WriteTo(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var tr tracelog.Trace
+	if err := json.Unmarshal(traceBuf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace recorded no events")
+	}
+}

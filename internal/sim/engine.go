@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync/atomic"
+
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
@@ -49,6 +51,17 @@ func sweep[T any](cfg Config, base *rng.Source, n int, fn func(cell int, src *rn
 			v, err := inner(i)
 			span.End()
 			cfg.Recorder.Count(telemetry.SimCells, 1)
+			return v, err
+		}
+	}
+	if cfg.Progress != nil {
+		inner := cell
+		var done atomic.Int64
+		cell = func(i int) (T, error) {
+			v, err := inner(i)
+			if err == nil {
+				cfg.Progress(int(done.Add(1)), n)
+			}
 			return v, err
 		}
 	}

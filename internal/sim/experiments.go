@@ -51,6 +51,13 @@ type Config struct {
 	// sub-runs); nil disables collection. Tables are bit-identical with
 	// any recorder installed — the serial-equivalence tests pin this.
 	Recorder telemetry.Recorder
+	// Progress, when non-nil, is called after each sweep cell completes
+	// successfully with the number of finished cells so far and the total
+	// cell count of the sweep. Calls arrive from pool workers, so they may
+	// be concurrent and `done` values may be observed out of order; `done`
+	// itself is monotone per sweep. Like Recorder, the hook only observes —
+	// tables are bit-identical whether or not it is installed.
+	Progress func(done, total int)
 }
 
 func (c Config) scaleOK() error {

@@ -5,10 +5,12 @@
 // that is directly comparable with the committed baseline, and the CI gate
 // (cmd/benchgate) can refuse regressions mechanically.
 //
-// Schema stability contract: SchemaVersion is bumped on any incompatible
-// change, Decode rejects files from a different major schema, and the
-// round-trip Encode→Decode is tested to be lossless. New optional fields
-// may be added without a version bump; consumers must ignore unknown keys.
+// Schema stability contract: SchemaVersion is bumped on any format
+// change; Decode accepts [MinSchemaVersion, SchemaVersion] (additive
+// bumps keep old files readable) and rejects anything outside the range.
+// The round-trip Encode→Decode is tested to be lossless. New optional
+// fields may be added without a version bump; consumers must ignore
+// unknown keys.
 package benchjson
 
 import (
@@ -21,11 +23,24 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"broadcastic/internal/buildinfo"
 )
 
-// SchemaVersion identifies the current schema. Decode accepts only files
-// carrying this version.
-const SchemaVersion = 1
+// SchemaVersion identifies the current schema. Decode accepts any version
+// in [MinSchemaVersion, SchemaVersion]: every bump so far has been purely
+// additive, so this build reads older committed baselines (v1 files simply
+// carry no build block).
+//
+// Schema history:
+//
+//	1 — initial format
+//	2 — adds the optional "build" block (binary identity via
+//	    runtime/debug.ReadBuildInfo)
+const (
+	SchemaVersion    = 2
+	MinSchemaVersion = 1
+)
 
 // File is one benchmark run: environment metadata plus one Entry per
 // measured operation.
@@ -37,8 +52,13 @@ type File struct {
 	// GitSHA is the commit the run was built from (see ResolveGitSHA).
 	GitSHA    string `json:"git_sha,omitempty"`
 	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
+	// Build is the producing binary's identity (module version, toolchain,
+	// VCS stamp) as resolved from the binary itself — unlike GitSHA it
+	// cannot go stale when a binary is copied between checkouts. Schema ≥2;
+	// absent in v1 files.
+	Build  *buildinfo.Info `json:"build,omitempty"`
+	GOOS   string          `json:"goos"`
+	GOARCH string          `json:"goarch"`
 	// Host is a coarse hardware fingerprint (goos/goarch/ncpu). Compare
 	// downgrades regressions to warnings across differing fingerprints:
 	// absolute ns/op from different hardware are not comparable, and the
@@ -85,8 +105,10 @@ func HostFingerprint() string {
 // New returns a File with the environment metadata filled in; the caller
 // appends entries and sets GeneratedAt/GitSHA as available.
 func New(scale string, workers int) *File {
+	build := buildinfo.Resolve()
 	return &File{
 		SchemaVersion: SchemaVersion,
+		Build:         &build,
 		GitSHA:        ResolveGitSHA(),
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
@@ -153,8 +175,9 @@ func (f *File) Entry(name string) *Entry {
 
 // Validate checks the invariants Decode enforces.
 func (f *File) Validate() error {
-	if f.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("benchjson: schema version %d, this build reads %d", f.SchemaVersion, SchemaVersion)
+	if f.SchemaVersion < MinSchemaVersion || f.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("benchjson: schema version %d, this build reads %d..%d",
+			f.SchemaVersion, MinSchemaVersion, SchemaVersion)
 	}
 	if f.Scale == "" {
 		return fmt.Errorf("benchjson: missing scale")

@@ -70,6 +70,7 @@ func TestEncodeSortsEntries(t *testing.T) {
 func TestDecodeRejectsBadFiles(t *testing.T) {
 	cases := map[string]string{
 		"wrong schema":    `{"schema_version": 99, "scale": "quick", "entries": []}`,
+		"zero schema":     `{"scale": "quick", "entries": []}`,
 		"missing scale":   `{"schema_version": 1, "entries": []}`,
 		"unnamed entry":   `{"schema_version": 1, "scale": "quick", "entries": [{"iterations": 1}]}`,
 		"duplicate entry": `{"schema_version": 1, "scale": "quick", "entries": [{"name": "A"}, {"name": "A"}]}`,
@@ -80,6 +81,37 @@ func TestDecodeRejectsBadFiles(t *testing.T) {
 		if _, err := Decode(strings.NewReader(body)); err == nil {
 			t.Errorf("%s: Decode accepted invalid input", name)
 		}
+	}
+}
+
+// TestDecodeAcceptsOlderSchemas pins the compatibility promise: v1 files
+// (the committed BENCH_baseline.json predates the build block) decode
+// under a v2 reader, with Build simply absent.
+func TestDecodeAcceptsOlderSchemas(t *testing.T) {
+	v1 := `{"schema_version": 1, "go_version": "go1.22", "goos": "linux", "goarch": "amd64",
+	        "host_fingerprint": "linux/amd64/ncpu=4", "scale": "quick", "workers": 4,
+	        "entries": [{"name": "BenchmarkE1", "iterations": 1, "ns_per_op": 100}]}`
+	f, err := Decode(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if f.Build != nil {
+		t.Errorf("v1 file decoded with a build block: %+v", f.Build)
+	}
+	if f.SchemaVersion != 1 {
+		t.Errorf("schema version rewritten to %d", f.SchemaVersion)
+	}
+}
+
+// TestNewEmbedsBuildInfo pins that freshly produced files carry the v2
+// build block with at least the toolchain identity.
+func TestNewEmbedsBuildInfo(t *testing.T) {
+	f := New("quick", 1)
+	if f.SchemaVersion != SchemaVersion {
+		t.Fatalf("New writes schema %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.Build == nil || f.Build.GoVersion == "" {
+		t.Fatalf("New embeds no build identity: %+v", f.Build)
 	}
 }
 

@@ -40,11 +40,22 @@ func (h *histogram) observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	// Bucket selection must never index out of range, even for values the
+	// instrumented layers never emit: converting NaN or ±Inf to int is
+	// platform-defined in Go (a huge negative on amd64), so both are pinned
+	// explicitly — NaN joins the sub-1 bucket, +Inf the top one.
 	i := 0
 	if v >= 1 {
-		i = int(math.Log2(v))
-		if i >= histBuckets {
+		if math.IsInf(v, 1) {
 			i = histBuckets - 1
+		} else {
+			i = int(math.Log2(v))
+			if i >= histBuckets {
+				i = histBuckets - 1
+			}
+			if i < 0 {
+				i = 0
+			}
 		}
 	}
 	h.buckets[i]++
@@ -131,6 +142,75 @@ func (c *Collector) Snapshot() map[string]float64 {
 		out[name+".count"] = float64(h.count)
 	}
 	return out
+}
+
+// HistBucketCount is the number of power-of-two histogram buckets a
+// Collector keeps per histogram (see the histBuckets comment).
+const HistBucketCount = histBuckets
+
+// HistBucketUpperBound returns the exclusive upper edge of bucket i:
+// bucket i counts samples in [2^i, 2^(i+1)), with bucket 0 additionally
+// absorbing everything below 1. Exposition formats that want cumulative
+// (Prometheus-style) buckets treat the returned value as the "le" bound.
+func HistBucketUpperBound(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return float64(uint64(1) << uint(i+1))
+}
+
+// CounterPoint is one counter in an Export.
+type CounterPoint struct {
+	Name  string
+	Value int64
+}
+
+// HistogramPoint is one histogram in an Export: streaming moments plus the
+// raw (non-cumulative) power-of-two bucket counts.
+type HistogramPoint struct {
+	Name     string
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	Buckets  [HistBucketCount]int64
+}
+
+// Summary converts the point to its HistSummary view.
+func (h HistogramPoint) Summary() HistSummary {
+	return HistSummary{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+}
+
+// Export is a full-fidelity, detached snapshot of a Collector. Both slices
+// are sorted by name, so consumers (the Prometheus exposition writer, test
+// goldens, dashboards) render deterministically from identical states.
+type Export struct {
+	Counters   []CounterPoint
+	Histograms []HistogramPoint
+}
+
+// Export snapshots every counter and histogram in sorted name order. The
+// result is detached: later recording does not mutate it.
+func (c *Collector) Export() Export {
+	c.mu.Lock()
+	ex := Export{
+		Counters:   make([]CounterPoint, 0, len(c.counts)),
+		Histograms: make([]HistogramPoint, 0, len(c.hists)),
+	}
+	for name, v := range c.counts {
+		ex.Counters = append(ex.Counters, CounterPoint{Name: name, Value: v})
+	}
+	for name, h := range c.hists {
+		hp := HistogramPoint{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		hp.Buckets = h.buckets
+		ex.Histograms = append(ex.Histograms, hp)
+	}
+	c.mu.Unlock()
+	sort.Slice(ex.Counters, func(i, j int) bool { return ex.Counters[i].Name < ex.Counters[j].Name })
+	sort.Slice(ex.Histograms, func(i, j int) bool { return ex.Histograms[i].Name < ex.Histograms[j].Name })
+	return ex
 }
 
 // Reset clears all counters and histograms.

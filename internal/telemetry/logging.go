@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig is the opt-in structured logging shared by every CLI: register
+// its flags with AddFlags, then build the logger with Logger. Logging is
+// off by default and always writes to the diagnostic stream (stderr), so
+// the deterministic stdout artifacts — tables, transcripts,
+// EXPERIMENTS_RAW.txt — are byte-identical with any logging level.
+type LogConfig struct {
+	// Level is "off", "error", "warn", "info" or "debug".
+	Level string
+	// Format is "text" or "json".
+	Format string
+}
+
+// AddFlags registers -log and -logformat on fs.
+func (l *LogConfig) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&l.Level, "log", "off", "structured log level on stderr: off, error, warn, info or debug")
+	fs.StringVar(&l.Format, "logformat", "text", "structured log encoding: text or json")
+}
+
+// Logger builds the configured *slog.Logger writing to w. Level "off"
+// yields a logger whose handler rejects every record before formatting,
+// so disabled logging costs one Enabled check per log call site.
+func (l *LogConfig) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(l.Level) {
+	case "", "off", "none":
+		return slog.New(discardHandler{}), nil
+	case "error":
+		level = slog.LevelError
+	case "warn":
+		level = slog.LevelWarn
+	case "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q", l.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(l.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q", l.Format)
+	}
+}
+
+// discardHandler is slog's /dev/null: Enabled is false for every level, so
+// records are dropped before any attribute is formatted.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,150 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"broadcastic/internal/telemetry"
+)
+
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"blackboard.bits", "blackboard_bits"},
+		{"netrun.link.3.wire_bits", "netrun_link_3_wire_bits"},
+		{"netrun.link.0.faults.drop", "netrun_link_0_faults_drop"},
+		{"already_fine:series", "already_fine:series"},
+		{"", "_"},
+		{"9lives", "_9lives"},
+		{"sp ace/slash-dash", "sp_ace_slash_dash"},
+		{"héllo", "h__llo"}, // multi-byte rune: one '_' per byte
+	}
+	for _, c := range cases {
+		if got := SanitizeName(c.in); got != c.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteCounterAndHistogram(t *testing.T) {
+	col := telemetry.NewCollector()
+	col.Count("blackboard.bits", 1234)
+	col.Count("netrun.link.1.wire_bits", 99)
+	col.Observe("sim.cell_ns", 3)   // bucket [2,4)
+	col.Observe("sim.cell_ns", 3)   // same bucket
+	col.Observe("sim.cell_ns", 100) // bucket [64,128)
+	var sb strings.Builder
+	if _, err := WriteCollector(&sb, col); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE blackboard_bits counter\nblackboard_bits 1234\n",
+		"netrun_link_1_wire_bits 99\n",
+		"# TYPE sim_cell_ns histogram\n",
+		"sim_cell_ns_bucket{le=\"4\"} 2\n",
+		"sim_cell_ns_bucket{le=\"128\"} 3\n",
+		"sim_cell_ns_bucket{le=\"+Inf\"} 3\n",
+		"sim_cell_ns_sum 106\n",
+		"sim_cell_ns_count 3\n",
+		"sim_cell_ns_min 3\n",
+		"sim_cell_ns_max 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Counters precede histograms, and the cumulative bucket for a skipped
+	// magnitude range is elided (no le="8" line with the same count twice
+	// is fine, but no bucket may decrease).
+	if strings.Index(out, "blackboard_bits") > strings.Index(out, "sim_cell_ns") {
+		t.Error("counters must precede histograms")
+	}
+}
+
+// TestWriteDeterministic pins the satellite requirement: two writes from
+// identical collector states are byte-identical (sorted name order).
+func TestWriteDeterministic(t *testing.T) {
+	build := func() *telemetry.Collector {
+		col := telemetry.NewCollector()
+		// Insertion order differs per call; output must not.
+		names := []string{"z.last", "a.first", "m.middle", "netrun.link.10.wire_bits", "netrun.link.2.wire_bits"}
+		for i, n := range names {
+			col.Count(n, int64(i+1))
+			col.Observe(n+".ns", float64(i+1))
+		}
+		return col
+	}
+	var a, b strings.Builder
+	if _, err := WriteCollector(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCollector(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic exposition:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	if a.String() == "" {
+		t.Fatal("empty exposition")
+	}
+}
+
+func TestWriteSpecialFloats(t *testing.T) {
+	col := telemetry.NewCollector()
+	col.Observe("weird", math.NaN())
+	col.Observe("weird", math.Inf(1))
+	col.Observe("weird", math.Inf(-1))
+	var sb strings.Builder
+	if _, err := WriteCollector(&sb, col); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "weird_count 3\n") {
+		t.Errorf("want 3 observations recorded, got:\n%s", out)
+	}
+	if !strings.Contains(out, "weird_sum NaN\n") {
+		t.Errorf("NaN sum must render as NaN, got:\n%s", out)
+	}
+	if err := checkExposition(out); err != nil {
+		t.Errorf("special floats broke the exposition grammar: %v\n%s", err, out)
+	}
+}
+
+func TestWriteCollidingNames(t *testing.T) {
+	col := telemetry.NewCollector()
+	col.Count("a.b", 1)
+	col.Count("a_b", 2) // sanitizes to the same family
+	col.Observe("a.b.ns", 1)
+	col.Observe("a:b/ns", 1) // collides with a_b_ns series space? (a:b_ns — distinct)
+	var sb strings.Builder
+	if _, err := WriteCollector(&sb, col); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := checkExposition(out); err != nil {
+		t.Errorf("collisions broke the exposition grammar: %v\n%s", err, out)
+	}
+	// Exactly one a_b sample line: the first (sorted) name wins.
+	lines := strings.Split(out, "\n")
+	samples := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a_b ") {
+			samples++
+		}
+	}
+	if samples != 1 {
+		t.Errorf("want exactly 1 a_b sample line, got %d:\n%s", samples, out)
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var sb strings.Builder
+	n, err := Write(&sb, telemetry.Export{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || sb.String() != "" {
+		t.Fatalf("empty export must write nothing, wrote %d bytes: %q", n, sb.String())
+	}
+}

@@ -53,6 +53,42 @@ func Observe(r Recorder, name string, value float64) {
 	}
 }
 
+// Multi fans every event out to all non-nil recorders, letting one run
+// feed several sinks at once (e.g. an aggregating Collector plus a
+// tracelog run trace). It flattens trivial cases so the hot-path helpers
+// keep their single-branch disabled cost: no live recorders yields nil,
+// exactly one yields that recorder unwrapped.
+func Multi(rs ...Recorder) Recorder {
+	live := make(multi, 0, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+type multi []Recorder
+
+func (m multi) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+
+func (m multi) Observe(name string, value float64) {
+	for _, r := range m {
+		r.Observe(name, value)
+	}
+}
+
 // Span is an in-flight timed region started by StartSpan. The zero Span
 // (from a nil Recorder) is inert: End returns immediately.
 type Span struct {

@@ -173,3 +173,177 @@ func TestProfilesFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCollectorExportAndWriteToSorted pins the exposition ordering
+// contract: Export and WriteTo emit metrics in sorted name order, so every
+// downstream rendering (promtext, dumps, benchjson) is deterministic
+// regardless of map iteration order.
+func TestCollectorExportAndWriteToSorted(t *testing.T) {
+	c := NewCollector()
+	for _, name := range []string{"z.last", "a.first", "m.middle", "b.second"} {
+		c.Count(name, 1)
+		c.Observe(name+".hist", 2)
+	}
+	ex := c.Export()
+	for i := 1; i < len(ex.Counters); i++ {
+		if ex.Counters[i-1].Name >= ex.Counters[i].Name {
+			t.Fatalf("Export counters unsorted at %d: %q >= %q", i, ex.Counters[i-1].Name, ex.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(ex.Histograms); i++ {
+		if ex.Histograms[i-1].Name >= ex.Histograms[i].Name {
+			t.Fatalf("Export histograms unsorted at %d", i)
+		}
+	}
+	var a, b strings.Builder
+	if _, err := c.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteTo is not deterministic across calls")
+	}
+	if !strings.Contains(a.String(), "a.first") {
+		t.Fatalf("dump missing entries:\n%s", a.String())
+	}
+	idx := func(name string) int { return strings.Index(a.String(), name) }
+	if !(idx("a.first") < idx("b.second") && idx("b.second") < idx("m.middle") && idx("m.middle") < idx("z.last")) {
+		t.Fatalf("WriteTo counters not in sorted order:\n%s", a.String())
+	}
+}
+
+// TestCollectorConcurrentHammer drives writers against every reader —
+// Snapshot, Export, WriteTo, Counter, Hist — and Reset, concurrently. It
+// asserts no torn reads panic and (under -race, as CI runs it) that the
+// Collector is data-race free across its whole surface.
+func TestCollectorConcurrentHammer(t *testing.T) {
+	c := NewCollector()
+	const writers, iters = 8, 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r {
+				case 0:
+					_ = c.Snapshot()
+				case 1:
+					ex := c.Export()
+					for i := 1; i < len(ex.Counters); i++ {
+						if ex.Counters[i-1].Name >= ex.Counters[i].Name {
+							t.Error("Export unsorted under concurrency")
+							return
+						}
+					}
+				case 2:
+					var sb strings.Builder
+					if _, err := c.WriteTo(&sb); err != nil {
+						t.Errorf("WriteTo under concurrency: %v", err)
+						return
+					}
+				case 3:
+					_ = c.Counter("hammer.count.3")
+					_ = c.Hist("hammer.hist.3")
+				}
+			}
+		}(r)
+	}
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			name := "hammer.count." + string(rune('0'+g))
+			hist := "hammer.hist." + string(rune('0'+g))
+			for i := 0; i < iters; i++ {
+				c.Count(name, 1)
+				c.Observe(hist, float64(i))
+				if i%100 == 99 && g == 0 {
+					c.Reset()
+				}
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	// After the dust settles the collector still works.
+	c.Reset()
+	c.Count("after", 1)
+	if c.Counter("after") != 1 {
+		t.Fatal("collector unusable after hammer")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing should be nil")
+	}
+	a := NewCollector()
+	if got := Multi(nil, a, nil); got != Recorder(a) {
+		t.Fatal("Multi of one recorder should unwrap it")
+	}
+	b := NewCollector()
+	m := Multi(a, b)
+	m.Count("x", 3)
+	m.Observe("h", 2)
+	for _, c := range []*Collector{a, b} {
+		if c.Counter("x") != 3 || c.Hist("h").Count != 1 {
+			t.Fatalf("fan-out missed a recorder: %v", c.Snapshot())
+		}
+	}
+}
+
+func TestLogConfig(t *testing.T) {
+	var sb strings.Builder
+	off := LogConfig{Level: "off"}
+	logger, err := off.Logger(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Error("also dropped")
+	if sb.Len() != 0 {
+		t.Fatalf("off logger wrote: %q", sb.String())
+	}
+
+	info := LogConfig{Level: "info", Format: "json"}
+	logger, err = info.Logger(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("below level")
+	logger.Info("kept", "k", "v")
+	out := sb.String()
+	if !strings.Contains(out, `"msg":"kept"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Fatalf("json log output = %q", out)
+	}
+	if strings.Contains(out, "below level") {
+		t.Fatalf("debug record leaked at info level: %q", out)
+	}
+
+	for _, bad := range []LogConfig{{Level: "verbose"}, {Level: "info", Format: "xml"}} {
+		if _, err := bad.Logger(&sb); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var cfg LogConfig
+	cfg.AddFlags(fs)
+	if err := fs.Parse([]string{"-log", "debug", "-logformat", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Level != "debug" || cfg.Format != "json" {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+}
