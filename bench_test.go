@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"broadcastic/internal/andk"
+	"broadcastic/internal/batch"
 	"broadcastic/internal/core"
+	"broadcastic/internal/disj"
 	"broadcastic/internal/dist"
 	"broadcastic/internal/pool"
 	"broadcastic/internal/prob"
@@ -204,6 +206,12 @@ func benchEstimateCIC(b *testing.B, k int) {
 		b.Fatal(err)
 	}
 	const samples = 200
+	// Untimed warm-up op (same idiom as benchDistSample): builds the CDF
+	// and lane-scratch caches so a single timed iteration measures the
+	// steady-state estimator, keeping ns/op meaningful at -benchtime 1x.
+	if _, err := core.EstimateCIC(spec, mu, rng.New(1), samples); err != nil {
+		b.Fatal(err)
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	mallocsBefore := ms.Mallocs
@@ -223,6 +231,106 @@ func benchEstimateCIC(b *testing.B, k int) {
 func BenchmarkEstimateCIC_K4(b *testing.B)  { benchEstimateCIC(b, 4) }
 func BenchmarkEstimateCIC_K16(b *testing.B) { benchEstimateCIC(b, 16) }
 func BenchmarkEstimateCIC_K64(b *testing.B) { benchEstimateCIC(b, 64) }
+
+// benchEstimateCICScalar is the same workload with the lane engine
+// disabled, keeping the scalar estimator's cost on file so the
+// BENCH_*.json trajectory shows the word-parallel win (and any scalar
+// regression) separately from the default path.
+func benchEstimateCICScalar(b *testing.B, k int) {
+	b.Helper()
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 200
+	opts := core.EstimateOptions{DisableLanes: true}
+	// Untimed warm-up op, as in benchEstimateCIC.
+	if _, err := core.EstimateCICOpts(spec, mu, rng.New(1), samples, opts); err != nil {
+		b.Fatal(err)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1)
+		if _, err := core.EstimateCICOpts(spec, mu, src, samples, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
+
+func BenchmarkEstimateCICScalar_K16(b *testing.B) { benchEstimateCICScalar(b, 16) }
+
+// BenchmarkBatchExec_K64 times the raw 64-lane executor on the 64-player
+// sequential AND kernel: one op runs 64 protocol instances to completion,
+// so ns/op is the engine's cost per word of decisions.
+func BenchmarkBatchExec_K64(b *testing.B) {
+	const k = 64
+	ex, err := batch.NewExec(batch.LaneSpec{Players: k, SpeakCap: k, HaltOnZero: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]uint64, k)
+	rng.New(1).Uint64s(inputs)
+	var sink uint64
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ex.Run(inputs, ^uint64(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink ^= out
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	if sink == 1<<63 {
+		b.Fatal("impossible")
+	}
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
+
+// BenchmarkGenerateFromMuNBatch times batched μ^n instance generation at
+// the E1 quick-scale shape (n=256, k=4): one op fills all 64 lanes and
+// reads back the disjointness ground truth, reusing the batch across
+// iterations the way the sim loop does.
+func BenchmarkGenerateFromMuNBatch(b *testing.B) {
+	const n, k = 256, 4
+	src := rng.New(1)
+	var dst *disj.BatchInstance
+	var sink int
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = disj.GenerateFromMuNBatch(dst, src, n, k, batch.Lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += dst.CountDisjoint()
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+	n2 := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n2, float64(ms.Mallocs-mallocsBefore)/n2, nil)
+}
 
 // benchDistSample times prob.Dist.Sample over a 256-outcome distribution
 // (comfortably above cdfMinSize, so the production size heuristic picks

@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	scale := fs.String("scale", "quick", "experiment scale: quick or full")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E4,E7)")
 	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = one per CPU); output is identical for every value")
+	batched := fs.Bool("batch", true, "use the 64-lane word-parallel engine where eligible; output is identical either way")
 	once := fs.Bool("once", false, "exit when the suite completes instead of serving until a signal")
 	runtrace := fs.String("runtrace", "", "directory for per-experiment Chrome trace-event files")
 	var logCfg telemetry.LogConfig
@@ -72,7 +73,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := sim.Config{Seed: *seed, Workers: *parallel}
+	cfg := sim.Config{Seed: *seed, Workers: *parallel, DisableBatching: !*batched}
 	switch *scale {
 	case "quick":
 		cfg.Scale = sim.Quick

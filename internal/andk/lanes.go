@@ -1,0 +1,37 @@
+package andk
+
+// Lane kernels: the bit-valued AND_k protocols certify their transcript
+// shape to the 64-lane batch engine. Each protocol here speaks in player
+// order, announces exactly its input bit, and either halts on the first 0
+// (Sequential, Truncated) or speaks through the whole prefix regardless
+// (BroadcastAll) — precisely the batch.LaneSpec contract. The
+// lane-equivalence tests in internal/batch pin each certificate against
+// the scalar core engine, transcript for transcript.
+//
+// Lazy deliberately implements no kernel: its opening coin flip is a
+// non-deterministic message, so it always runs on the scalar engine.
+
+import "broadcastic/internal/batch"
+
+// LaneKernel implements batch.Kernel: all k players may speak, halting
+// right after the first 0.
+func (s *Sequential) LaneKernel() (batch.LaneSpec, bool) {
+	return batch.LaneSpec{Players: s.k, SpeakCap: s.k, HaltOnZero: true}, true
+}
+
+// LaneKernel implements batch.Kernel: all k players speak unconditionally.
+func (b *BroadcastAll) LaneKernel() (batch.LaneSpec, bool) {
+	return batch.LaneSpec{Players: b.k, SpeakCap: b.k, HaltOnZero: false}, true
+}
+
+// LaneKernel implements batch.Kernel: only the first m players may speak,
+// halting right after the first 0.
+func (tr *Truncated) LaneKernel() (batch.LaneSpec, bool) {
+	return batch.LaneSpec{Players: tr.k, SpeakCap: tr.m, HaltOnZero: true}, true
+}
+
+var (
+	_ batch.Kernel = (*Sequential)(nil)
+	_ batch.Kernel = (*BroadcastAll)(nil)
+	_ batch.Kernel = (*Truncated)(nil)
+)

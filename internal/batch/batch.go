@@ -1,0 +1,261 @@
+// Package batch executes up to 64 independent instances of a bit-valued
+// broadcast protocol per machine word.
+//
+// The hot experiments (E4/E6/E7, the Monte-Carlo estimator behind them,
+// and μ^n instance generation) are dominated by protocols whose messages
+// are single bits announced deterministically: AND_k leaf decisions and
+// DISJ membership checks. One such instance occupies one bit of state per
+// player, so a uint64 holds 64 instances ("lanes") and the transcript /
+// decision logic runs once per word instead of once per instance.
+//
+// The package has three layers:
+//
+//   - LaneSpec/Kernel: the contract a protocol certifies to become
+//     lane-executable — players speak in index order, each writes exactly
+//     its input bit, and the speaking prefix is cut by the first 0 (or
+//     not at all). andk's Sequential, BroadcastAll and Truncated protocols
+//     implement Kernel; Lazy (a private coin precedes the input bits) does
+//     not, and falls back to the scalar engine.
+//   - Exec: the word-parallel executor. Given per-player lane words
+//     (bit L of word i = player i's bit in lane L) it derives who spoke,
+//     each lane's transcript length and each lane's decision with one
+//     word operation per player. bitvec.Transpose64 converts between the
+//     lane-word layout and per-instance words.
+//   - LanePrior/TwoPoint: the precomputed per-player conditional rows the
+//     lane estimator samples from and scores with. TwoPoint pins the
+//     exact floating-point semantics of prob.Dist sampling and of
+//     core.qDivergenceSum on two-point rows, which is what lets the lane
+//     estimator reproduce the scalar estimator bit for bit (see
+//     DESIGN.md §10 for the full alignment contract).
+//
+// Correctness discipline: every batched path is pinned against its scalar
+// counterpart by lane-equivalence tests — 64 scalar runs and one 64-lane
+// batch from identical seeds must agree on every per-instance transcript,
+// decision and bit count.
+package batch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"broadcastic/internal/bitvec"
+	"broadcastic/internal/prob"
+)
+
+// Lanes is the lane count of one batch: one instance per bit of a uint64.
+const Lanes = 64
+
+// LaneSpec is the shape a lane-executable protocol certifies: a prefix of
+// at most SpeakCap players speaks in index order, each message is the
+// speaker's own input bit (a deterministic point mass, one bit on the
+// board), and with HaltOnZero the prefix ends immediately after the first
+// 0 bit. The decision of a completed run is 1 iff no spoken bit was 0.
+type LaneSpec struct {
+	// Players is the number of players (the protocol's NumPlayers).
+	Players int
+	// SpeakCap bounds the speaking prefix: players SpeakCap.. never speak.
+	SpeakCap int
+	// HaltOnZero stops the run right after the first 0 is written.
+	HaltOnZero bool
+}
+
+// Validate checks the shape's internal consistency.
+func (s LaneSpec) Validate() error {
+	if s.Players < 1 {
+		return fmt.Errorf("batch: non-positive player count %d", s.Players)
+	}
+	if s.SpeakCap < 1 || s.SpeakCap > s.Players {
+		return fmt.Errorf("batch: speak cap %d outside [1,%d]", s.SpeakCap, s.Players)
+	}
+	return nil
+}
+
+// Steps returns the transcript length of a lane whose first 0 bit among
+// the speaking prefix sits at index firstZero (pass SpeakCap or more when
+// the prefix holds no 0). It is the scalar form of the executor's spoken
+// masks, used for draw accounting while lanes are still being filled.
+func (s LaneSpec) Steps(firstZero int) int {
+	if s.HaltOnZero && firstZero < s.SpeakCap {
+		return firstZero + 1
+	}
+	return s.SpeakCap
+}
+
+// Kernel is implemented by protocol specs that are lane-executable. A
+// spec returning ok reports that its transcript semantics are exactly
+// LaneSpec's — the lane-equivalence tests pin the claim for every
+// implementation.
+type Kernel interface {
+	LaneKernel() (spec LaneSpec, ok bool)
+}
+
+// LanePrior is implemented by priors whose per-player conditionals
+// collapse to a small set of shared two-point rows, so the lane estimator
+// can precompute each row's sampler thresholds and divergence terms once.
+// dist.Mu satisfies it structurally: row 0 is the special player's point
+// mass on 0, row 1 the regular Bernoulli(1−1/k).
+type LanePrior interface {
+	// LaneRows returns the distinct conditional input rows. Every row a
+	// LaneRowsOf index refers to must appear here; at most 256 rows.
+	LaneRows() []prob.Dist
+	// LaneRowsOf fills dst[i] with the row index of player i's
+	// conditional given auxiliary value z. len(dst) is the player count.
+	LaneRowsOf(z int, dst []uint8)
+}
+
+// TwoPoint is the precomputed lane form of a two-outcome conditional row:
+// the exact linear-scan sampling thresholds of prob.Dist.Sample and the
+// exact per-bit divergence terms core's qDivergenceSum produces when the
+// row's player has spoken its bit. MakeTwoPoint rejects rows for which
+// the lane shortcut would not be bit-identical to the scalar engine.
+type TwoPoint struct {
+	// P0 and P01 are the scan's partial sums: a uniform u samples bit 0
+	// when u < P0, bit 1 when u < P01, and Fallback otherwise (the
+	// floating-point-slack rule of prob.Dist).
+	P0, P01 float64
+	// Fallback is the largest outcome with positive mass.
+	Fallback int
+	// D0 and D1 are the spoken divergence terms log2(1/P(b)): the exact
+	// value the scalar engine's posterior sum contributes for a player
+	// with this row after announcing bit b.
+	D0, D1 float64
+}
+
+// MakeTwoPoint precomputes the lane form of row. It errors when the row
+// is not a two-point distribution or when its probabilities do not sum to
+// exactly 1.0 in floating point — the property that makes an unspoken
+// player's divergence term exactly +0.0, without which the lane engine
+// could not skip unspoken players. Callers treat an error as "use the
+// scalar engine", not as a failure.
+func MakeTwoPoint(row prob.Dist) (TwoPoint, error) {
+	if row.Size() != 2 {
+		return TwoPoint{}, fmt.Errorf("batch: row has %d outcomes, want 2", row.Size())
+	}
+	p0, p1 := row.P(0), row.P(1)
+	p01 := p0 + p1
+	if p01 != 1 {
+		return TwoPoint{}, fmt.Errorf("batch: row mass %v+%v does not sum to exactly 1", p0, p1)
+	}
+	tp := TwoPoint{P0: p0, P01: p01, Fallback: 1}
+	if p1 == 0 {
+		tp.Fallback = 0
+	}
+	// Spoken terms, written exactly as the scalar engine computes them:
+	// post = 1.0, norm = P(b), d = post·log2(post/P(b)). A bit with zero
+	// mass is never announced, so its term is never read; keep it 0.
+	if p0 > 0 {
+		tp.D0 = math.Log2(1 / p0)
+	}
+	if p1 > 0 {
+		tp.D1 = math.Log2(1 / p1)
+	}
+	return tp, nil
+}
+
+// SampleBit maps a uniform draw u ∈ [0,1) to a bit, reproducing
+// prob.Dist's linear scan on a two-point support decision for decision:
+// the same u fed to Dist.SampleU yields the same bit.
+func (t *TwoPoint) SampleBit(u float64) int {
+	if u < t.P0 {
+		return 0
+	}
+	if u < t.P01 {
+		return 1
+	}
+	return t.Fallback
+}
+
+// Exec is the word-parallel executor for one LaneSpec. It is reusable:
+// Run overwrites all derived state, so one Exec serves an arbitrary
+// number of batches without allocating.
+type Exec struct {
+	spec   LaneSpec
+	spoken []uint64 // per player: lanes in which the player spoke
+}
+
+// NewExec validates spec and returns an executor for it.
+func NewExec(spec LaneSpec) (*Exec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Exec{spec: spec, spoken: make([]uint64, spec.Players)}, nil
+}
+
+// Spec returns the executed shape.
+func (e *Exec) Spec() LaneSpec { return e.spec }
+
+// Run executes the protocol on up to 64 lanes at once. inputs[i] packs
+// player i's input bit across lanes (bit L = lane L); active masks the
+// lanes in use. It returns the decision word: bit L set iff lane L
+// decides 1. Bits outside active are zero, in the decision word and in
+// every spoken mask. One word operation per player replaces 64 per-lane
+// transcript walks.
+func (e *Exec) Run(inputs []uint64, active uint64) (out uint64, err error) {
+	if len(inputs) < e.spec.Players {
+		return 0, fmt.Errorf("batch: %d input words for %d players", len(inputs), e.spec.Players)
+	}
+	// ones tracks the lanes whose transcript so far is all 1s. With
+	// HaltOnZero those are exactly the lanes still speaking; without it
+	// every active lane speaks through the whole prefix.
+	ones := active
+	for i := 0; i < e.spec.SpeakCap; i++ {
+		if e.spec.HaltOnZero {
+			e.spoken[i] = ones
+		} else {
+			e.spoken[i] = active
+		}
+		ones &= inputs[i]
+	}
+	for i := e.spec.SpeakCap; i < e.spec.Players; i++ {
+		e.spoken[i] = 0
+	}
+	// A lane decides 1 iff its spoken prefix had no 0 — equivalently iff
+	// it survived all SpeakCap conjunctions.
+	return ones, nil
+}
+
+// Spoken returns the lane mask of player i's announcements from the last
+// Run. Valid until the next Run.
+func (e *Exec) Spoken(i int) uint64 { return e.spoken[i] }
+
+// StepsInto writes each lane's transcript length (= communication in
+// bits, one bit per message) from the last Run into dst, which must hold
+// Lanes entries. Lengths are column sums of the spoken masks, computed by
+// transposing 64-player tiles with bitvec.Transpose64 and popcounting the
+// resulting per-lane words.
+func (e *Exec) StepsInto(dst []int) error {
+	if len(dst) < Lanes {
+		return fmt.Errorf("batch: steps buffer holds %d lanes, want %d", len(dst), Lanes)
+	}
+	for L := 0; L < Lanes; L++ {
+		dst[L] = 0
+	}
+	var m [Lanes]uint64
+	for base := 0; base < e.spec.Players; base += Lanes {
+		count := e.spec.Players - base
+		if count > Lanes {
+			count = Lanes
+		}
+		copy(m[:count], e.spoken[base:base+count])
+		for i := count; i < Lanes; i++ {
+			m[i] = 0
+		}
+		bitvec.Transpose64(&m)
+		for L := 0; L < Lanes; L++ {
+			dst[L] += bits.OnesCount64(m[L])
+		}
+	}
+	return nil
+}
+
+// LaneTranscript reconstructs lane L's transcript from packed inputs and
+// the lane's transcript length: the first steps players' bits in order.
+// It appends to dst[:0] and returns the result (the harness's unpacker).
+func LaneTranscript(inputs []uint64, lane, steps int, dst []int) []int {
+	dst = dst[:0]
+	for i := 0; i < steps; i++ {
+		dst = append(dst, int(inputs[i]>>uint(lane)&1))
+	}
+	return dst
+}

@@ -1,0 +1,159 @@
+package batch_test
+
+// The lane-equivalence harness: the headline correctness instrument of
+// the lane engine. For every batched protocol it runs 64 scalar instances
+// through the full tree-walking core engine and one 64-lane batch through
+// the word-parallel executor, from identical seeds, and pins bit-identical
+// per-instance transcripts, decisions, and bit counts — the same pinning
+// discipline the workers and netrun layers use for serial equivalence.
+
+import (
+	"testing"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/batch"
+	"broadcastic/internal/core"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/rng"
+)
+
+// laneCase is one row of the harness table: a protocol under test plus
+// its scalar-engine spec.
+type laneCase struct {
+	name string
+	spec core.Spec // must also implement batch.Kernel
+}
+
+func laneCases(t *testing.T, k int) []laneCase {
+	t.Helper()
+	seq, err := andk.NewSequential(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := andk.NewBroadcastAll(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := andk.NewTruncated(k, (k+2)/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []laneCase{
+		{"sequential", seq},
+		{"broadcast-all", all},
+		{"truncated", trunc},
+	}
+}
+
+// sampleLaneInputs draws one μ input per lane and packs the bits into
+// lane words: inputs[i] bit L = player i's bit in lane L.
+func sampleLaneInputs(t *testing.T, mu *dist.Mu, src *rng.Source, k, lanes int) (packed []uint64, perLane [][]int) {
+	t.Helper()
+	packed = make([]uint64, k)
+	perLane = make([][]int, lanes)
+	for L := 0; L < lanes; L++ {
+		_, x := mu.Sample(src)
+		perLane[L] = x
+		for i, v := range x {
+			if v == 1 {
+				packed[i] |= 1 << uint(L)
+			}
+		}
+	}
+	return packed, perLane
+}
+
+func TestLaneEquivalenceHarness(t *testing.T) {
+	for _, k := range []int{2, 7, 16, 64} {
+		mu, err := dist.NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range laneCases(t, k) {
+			t.Run(tc.name, func(t *testing.T) {
+				kern, ok := tc.spec.(batch.Kernel)
+				if !ok {
+					t.Fatalf("%T does not implement batch.Kernel", tc.spec)
+				}
+				ls, ok := kern.LaneKernel()
+				if !ok {
+					t.Fatalf("%T declined to certify a lane kernel", tc.spec)
+				}
+				if err := ls.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if ls.Players != tc.spec.NumPlayers() {
+					t.Fatalf("kernel players %d != spec players %d", ls.Players, tc.spec.NumPlayers())
+				}
+				ex, err := batch.NewExec(ls)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, lanes := range []int{batch.Lanes, 23, 1} {
+					inputs, perLane := sampleLaneInputs(t, mu, rng.New(uint64(1000+k)), k, lanes)
+					active := uint64(1)<<uint(lanes) - 1
+					if lanes == 64 {
+						active = ^uint64(0)
+					}
+					out, err := ex.Run(inputs, active)
+					if err != nil {
+						t.Fatal(err)
+					}
+					steps := make([]int, batch.Lanes)
+					if err := ex.StepsInto(steps); err != nil {
+						t.Fatal(err)
+					}
+
+					var laneT []int
+					for L := 0; L < lanes; L++ {
+						// The scalar reference: the full core engine on
+						// lane L's input. Message draws are point masses,
+						// so any stream yields the lane's one transcript.
+						wantT, leaf, err := core.SampleTranscript(tc.spec, perLane[L], rng.New(uint64(L)))
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Transcript: bit-identical symbol sequence.
+						laneT = batch.LaneTranscript(inputs, L, steps[L], laneT)
+						if len(laneT) != len(wantT) {
+							t.Fatalf("lanes=%d lane %d: batch transcript length %d, scalar %d",
+								lanes, L, len(laneT), len(wantT))
+						}
+						for s := range laneT {
+							if laneT[s] != wantT[s] {
+								t.Fatalf("lanes=%d lane %d step %d: batch wrote %d, scalar wrote %d",
+									lanes, L, s, laneT[s], wantT[s])
+							}
+						}
+						// Decision.
+						if got := int(out >> uint(L) & 1); got != leaf.Output {
+							t.Fatalf("lanes=%d lane %d: batch decision %d, scalar output %d",
+								lanes, L, got, leaf.Output)
+						}
+						// Bit count (one bit per message on this family).
+						if steps[L] != leaf.Bits {
+							t.Fatalf("lanes=%d lane %d: batch counts %d bits, scalar %d",
+								lanes, L, steps[L], leaf.Bits)
+						}
+						// Spoken masks agree with transcript length.
+						for i := 0; i < k; i++ {
+							spoke := ex.Spoken(i)>>uint(L)&1 == 1
+							if spoke != (i < len(wantT)) {
+								t.Fatalf("lanes=%d lane %d: spoken[%d]=%v, scalar transcript length %d",
+									lanes, L, i, spoke, len(wantT))
+							}
+						}
+					}
+					// Inactive lanes stay silent everywhere.
+					for L := lanes; L < batch.Lanes; L++ {
+						if out>>uint(L)&1 != 0 || steps[L] != 0 {
+							t.Fatalf("inactive lane %d: decision bit %d, steps %d",
+								L, out>>uint(L)&1, steps[L])
+						}
+					}
+				}
+			})
+		}
+	}
+}

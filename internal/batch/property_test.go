@@ -1,0 +1,212 @@
+package batch_test
+
+// Property tests (testing/quick): random (n, k, seed, lane-count ≤ 64)
+// configurations must keep every batched decision equal to its scalar
+// counterpart — including ragged final batches where the instance count
+// is not a multiple of 64. Three batched surfaces are covered: the
+// word-parallel executor against the core tree engine, batched μ^n
+// generation against scalar generation, and the lane estimator against
+// the scalar estimator on ragged sample budgets.
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/batch"
+	"broadcastic/internal/core"
+	"broadcastic/internal/disj"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/rng"
+)
+
+func quickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+// TestExecDecisionsMatchScalarQuick: for a random protocol shape, lane
+// count and input batch, every lane's Exec decision, transcript length
+// and spoken set must match the scalar core engine run on that lane's
+// input column.
+func TestExecDecisionsMatchScalarQuick(t *testing.T) {
+	prop := func(seed uint64, kRaw, mRaw, lanesRaw, shape uint8) bool {
+		k := int(kRaw)%32 + 1
+		m := int(mRaw)%k + 1
+		lanes := int(lanesRaw)%batch.Lanes + 1 // ragged batches included
+		var spec core.Spec
+		var err error
+		switch shape % 3 {
+		case 0:
+			spec, err = andk.NewSequential(k)
+		case 1:
+			spec, err = andk.NewBroadcastAll(k)
+		default:
+			spec, err = andk.NewTruncated(k, m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, ok := spec.(batch.Kernel).LaneKernel()
+		if !ok {
+			t.Fatal("andk protocol declined its lane kernel")
+		}
+		ex, err := batch.NewExec(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random input bits, one word per player.
+		src := rng.New(seed)
+		inputs := make([]uint64, k)
+		src.Uint64s(inputs)
+		active := uint64(1)<<uint(lanes) - 1
+		if lanes == batch.Lanes {
+			active = ^uint64(0)
+		}
+		out, err := ex.Run(inputs, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := make([]int, batch.Lanes)
+		if err := ex.StepsInto(steps); err != nil {
+			t.Fatal(err)
+		}
+
+		x := make([]int, k)
+		for L := 0; L < lanes; L++ {
+			for i := range x {
+				x[i] = int(inputs[i] >> uint(L) & 1)
+			}
+			tr, leaf, err := core.SampleTranscript(spec, x, rng.New(seed+uint64(L)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(out>>uint(L)&1) != leaf.Output {
+				return false
+			}
+			if steps[L] != leaf.Bits || steps[L] != len(tr) {
+				return false
+			}
+		}
+		for L := lanes; L < batch.Lanes; L++ {
+			if out>>uint(L)&1 != 0 || steps[L] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuNBatchDecisionsMatchScalarQuick: batched μ^n generation must give
+// each lane the exact instance — and DisjointMask the exact ground truth —
+// of sequential scalar generation from the same stream.
+func TestMuNBatchDecisionsMatchScalarQuick(t *testing.T) {
+	prop := func(seed uint64, nRaw uint16, kRaw, lanesRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		k := int(kRaw)%9 + 2
+		lanes := int(lanesRaw)%batch.Lanes + 1
+		b, err := disj.GenerateFromMuNBatch(nil, rng.New(seed), n, k, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := b.DisjointMask()
+		scalarSrc := rng.New(seed)
+		count := 0
+		for L := 0; L < lanes; L++ {
+			inst, err := disj.GenerateFromMuN(scalarSrc, n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := inst.Disjoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (mask>>uint(L)&1 == 1) != want {
+				return false
+			}
+			if want {
+				count++
+			}
+		}
+		return b.CountDisjoint() == count && mask&^b.ActiveMask() == 0
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatorBatchingMatchesScalarQuick: on random lane-eligible
+// configurations and ragged sample budgets (samples % 64 ≠ 0 and % 512 ≠
+// 0 alike), the lane estimator and the scalar estimator must return the
+// identical CICEstimate.
+func TestEstimatorBatchingMatchesScalarQuick(t *testing.T) {
+	prop := func(seed uint64, kRaw, mRaw uint8, samplesRaw uint16, truncate bool) bool {
+		k := int(kRaw)%23 + 2
+		m := int(mRaw)%k + 1
+		samples := int(samplesRaw)%1500 + 1
+		var spec core.Spec
+		var err error
+		if truncate {
+			spec, err = andk.NewTruncated(k, m)
+		} else {
+			spec, err = andk.NewSequential(k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, err := dist.NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane, err := core.EstimateCICOpts(spec, mu, rng.New(seed), samples, core.EstimateOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := core.EstimateCICOpts(spec, mu, rng.New(seed), samples,
+			core.EstimateOptions{Workers: 1, DisableLanes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *lane == *scalar
+	}
+	cfg := quickConfig()
+	cfg.MaxCount = 30
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLaneSpecSteps pins the scalar transcript-length helper against the
+// executor's own accounting.
+func TestLaneSpecSteps(t *testing.T) {
+	prop := func(inputsRaw uint64, kRaw uint8, halt bool) bool {
+		k := int(kRaw)%20 + 1
+		ls := batch.LaneSpec{Players: k, SpeakCap: k, HaltOnZero: halt}
+		ex, err := batch.NewExec(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]uint64, k)
+		for i := range inputs {
+			if inputsRaw>>uint(i)&1 == 1 {
+				inputs[i] = ^uint64(0)
+			}
+		}
+		if _, err := ex.Run(inputs, 1); err != nil {
+			t.Fatal(err)
+		}
+		steps := make([]int, batch.Lanes)
+		if err := ex.StepsInto(steps); err != nil {
+			t.Fatal(err)
+		}
+		firstZero := bits.TrailingZeros64(^inputsRaw)
+		return steps[0] == ls.Steps(firstZero)
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package batch_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"broadcastic/internal/batch"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+// TestMakeTwoPointRejections pins the eligibility edge of the lane
+// estimator: rows that cannot guarantee bit-identity are refused.
+func TestMakeTwoPointRejections(t *testing.T) {
+	three, err := prob.NewDist([]float64{0.25, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batch.MakeTwoPoint(three); err == nil {
+		t.Fatal("three-outcome row accepted")
+	}
+	// Mass 1 + 2^-52 passes prob's 1e-9 construction tolerance but is not
+	// exactly 1.0 in floating point, so the unspoken-player divergence
+	// term would not vanish exactly — must be refused.
+	inexact, err := prob.NewDist([]float64{0.5 + math.Ldexp(1, -52), 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batch.MakeTwoPoint(inexact); err == nil {
+		t.Fatal("row with inexact unit mass accepted")
+	}
+}
+
+// TestTwoPointMatchesDistSampling: for every accepted row, SampleBit must
+// agree with prob.Dist's own sampling on the same uniforms — the exact
+// property the lane estimator's draw alignment rests on.
+func TestTwoPointMatchesDistSampling(t *testing.T) {
+	rows := []prob.Dist{}
+	for _, p := range []float64{0, 0.5, 0.75, 1 - 1.0/3, 1 - 1.0/64, 1} {
+		d, err := prob.Bernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, d)
+	}
+	point0, err := prob.Point(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point1, err := prob.Point(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = append(rows, point0, point1)
+
+	src := rng.New(2024)
+	for ri, row := range rows {
+		tp, err := batch.MakeTwoPoint(row)
+		if err != nil {
+			t.Fatalf("row %d rejected: %v", ri, err)
+		}
+		// Divergence terms must be the exact spoken-player values.
+		if p0 := row.P(0); p0 > 0 && tp.D0 != math.Log2(1/p0) {
+			t.Fatalf("row %d: D0 = %v, want log2(1/%v)", ri, tp.D0, p0)
+		}
+		if p1 := row.P(1); p1 > 0 && tp.D1 != math.Log2(1/p1) {
+			t.Fatalf("row %d: D1 = %v, want log2(1/%v)", ri, tp.D1, p1)
+		}
+		us := []float64{0, row.P(0), math.Nextafter(row.P(0), 0), math.Nextafter(1, 0)}
+		for i := 0; i < 200; i++ {
+			us = append(us, src.Float64())
+		}
+		for _, u := range us {
+			if u < 0 || u >= 1 {
+				continue
+			}
+			if got, want := tp.SampleBit(u), row.SampleU(u); got != want {
+				t.Fatalf("row %d u=%v: SampleBit %d != Dist %d", ri, u, got, want)
+			}
+		}
+	}
+}
+
+// TestSampleUMatchesSample pins prob's contract that SampleU(u) is the
+// deterministic half of Sample, on both the linear-scan and the cached
+// binary-search paths.
+func TestSampleUMatchesSample(t *testing.T) {
+	weights := make([]float64, 200) // support ≥ cdfMinSize: cached path
+	for i := range weights {
+		weights[i] = float64(i%7) + 1
+	}
+	big, err := prob.Normalize(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := prob.Normalize(weights[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []prob.Dist{big, small} {
+		a, b := rng.New(55), rng.New(55)
+		for i := 0; i < 500; i++ {
+			if got, want := d.SampleU(b.Float64()), d.Sample(a); got != want {
+				t.Fatalf("draw %d: SampleU %d != Sample %d", i, got, want)
+			}
+		}
+	}
+}
+
+func TestLaneSpecValidate(t *testing.T) {
+	for _, ls := range []batch.LaneSpec{
+		{Players: 0, SpeakCap: 1},
+		{Players: 4, SpeakCap: 0},
+		{Players: 4, SpeakCap: 5},
+	} {
+		if ls.Validate() == nil {
+			t.Fatalf("invalid spec %+v accepted", ls)
+		}
+		if _, err := batch.NewExec(ls); err == nil {
+			t.Fatalf("NewExec accepted invalid spec %+v", ls)
+		}
+	}
+	ok := batch.LaneSpec{Players: 4, SpeakCap: 3, HaltOnZero: true}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecRunValidation covers the executor's argument checks.
+func TestExecRunValidation(t *testing.T) {
+	ex, err := batch.NewExec(batch.LaneSpec{Players: 4, SpeakCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(make([]uint64, 3), ^uint64(0)); err == nil {
+		t.Fatal("short input slice accepted")
+	}
+	if err := ex.StepsInto(make([]int, 10)); err == nil {
+		t.Fatal("short steps buffer accepted")
+	}
+}
+
+// TestTwoPointNeverFallsBack: with exact unit mass and uniforms in [0,1),
+// the fallback branch is unreachable; quick-check it anyway so a future
+// change to the threshold logic cannot silently drift from Dist.
+func TestTwoPointNeverFallsBack(t *testing.T) {
+	prop := func(seed uint64, pRaw uint16) bool {
+		p := float64(pRaw%1000) / 1000
+		row, err := prob.Bernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := batch.MakeTwoPoint(row)
+		if err != nil {
+			// Inexact mass: legal refusal, nothing to compare.
+			return true
+		}
+		src := rng.New(seed)
+		for i := 0; i < 100; i++ {
+			u := src.Float64()
+			if tp.SampleBit(u) != row.SampleU(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

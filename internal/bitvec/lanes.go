@@ -1,0 +1,56 @@
+package bitvec
+
+// Lane transpose: the packer/unpacker between the two structure-of-arrays
+// layouts the 64-lane batch engine moves between.
+//
+// The lane engine (internal/batch) executes 64 protocol instances per
+// machine word. Its execution layout is row-major over players or
+// coordinates: word i holds bit L for every lane L ("lane words"). Its
+// per-instance layout is the transpose: word L holds lane L's 64 bits in
+// sequence (a bitvec.Vector word). Converting between the two is a 64×64
+// bit-matrix transpose, done word-parallel with the recursive block-swap
+// scheme (Hacker's Delight §7-3): swap the off-diagonal 32×32 blocks, then
+// the 16×16 blocks inside each half, down to 1×1.
+
+import "fmt"
+
+// Words returns how many 64-bit words back v.
+func (v *Vector) Words() int { return len(v.words) }
+
+// Word returns the w-th backing word of v: bit t of the result is element
+// 64·w+t of the universe. Out-of-range w yields 0, mirroring Get's
+// forgiving read side.
+func (v *Vector) Word(w int) uint64 {
+	if w < 0 || w >= len(v.words) {
+		return 0
+	}
+	return v.words[w]
+}
+
+// SetWord replaces the w-th backing word wholesale, masking any bits
+// beyond the universe tail. The lane unpacker installs 64 transposed
+// coordinates per call instead of issuing 64 Set calls.
+func (v *Vector) SetWord(w int, bits uint64) error {
+	if w < 0 || w >= len(v.words) {
+		return fmt.Errorf("bitvec: word index %d outside [0,%d)", w, len(v.words))
+	}
+	v.words[w] = bits
+	v.maskTail()
+	return nil
+}
+
+// Transpose64 transposes the 64×64 bit matrix m in place: bit j of word i
+// moves to bit i of word j. The transform is an involution — applying it
+// twice restores m exactly (the round-trip identity the fuzz target pins) —
+// so the same call packs lane words into per-instance words and back.
+func Transpose64(m *[64]uint64) {
+	mask := uint64(0x00000000ffffffff)
+	for j := 32; j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (m[k]>>uint(j) ^ m[k+j]) & mask
+			m[k] ^= t << uint(j)
+			m[k+j] ^= t
+		}
+		mask ^= mask << uint(j>>1)
+	}
+}

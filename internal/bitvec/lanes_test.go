@@ -1,0 +1,85 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"broadcastic/internal/rng"
+)
+
+// transposeRef is the obvious bit-at-a-time transpose the word-parallel
+// version is pinned against.
+func transposeRef(m *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			out[j] |= (m[i] >> uint(j) & 1) << uint(i)
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesReference(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		var m [64]uint64
+		src.Uint64s(m[:])
+		want := transposeRef(&m)
+		got := m
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: word-parallel transpose differs from reference", trial)
+		}
+		Transpose64(&got)
+		if got != m {
+			t.Fatalf("trial %d: double transpose is not the identity", trial)
+		}
+	}
+}
+
+func TestTranspose64SingleBits(t *testing.T) {
+	for _, pos := range [][2]int{{0, 0}, {0, 63}, {63, 0}, {63, 63}, {5, 41}, {41, 5}, {31, 32}} {
+		var m [64]uint64
+		m[pos[0]] = 1 << uint(pos[1])
+		Transpose64(&m)
+		for w := 0; w < 64; w++ {
+			want := uint64(0)
+			if w == pos[1] {
+				want = 1 << uint(pos[0])
+			}
+			if m[w] != want {
+				t.Fatalf("bit (%d,%d): word %d = %#x, want %#x", pos[0], pos[1], w, m[w], want)
+			}
+		}
+	}
+}
+
+// FuzzTranspose64RoundTrip is the lane packer/unpacker fuzz target run by
+// the CI fuzz-smoke job: for arbitrary 64×64 bit matrices the transpose
+// must match the bit-at-a-time reference and invert itself exactly.
+func FuzzTranspose64RoundTrip(f *testing.F) {
+	f.Add(make([]byte, 512))
+	seed := make([]byte, 512)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m [64]uint64
+		for i := range m {
+			if off := i * 8; off+8 <= len(data) {
+				m[i] = binary.LittleEndian.Uint64(data[off:])
+			}
+		}
+		orig := m
+		want := transposeRef(&m)
+		Transpose64(&m)
+		if m != want {
+			t.Fatal("transpose differs from reference")
+		}
+		Transpose64(&m)
+		if m != orig {
+			t.Fatal("round trip is not the identity")
+		}
+	})
+}

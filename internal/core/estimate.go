@@ -65,6 +65,31 @@ func EstimateCICWorkers(spec Spec, prior Prior, src *rng.Source, samples, worker
 // exactly EstimateCICWorkers; any rec leaves the estimate bit-identical,
 // since recording draws nothing from the sample streams.
 func EstimateCICRecorded(spec Spec, prior Prior, src *rng.Source, samples, workers int, rec telemetry.Recorder) (*CICEstimate, error) {
+	return EstimateCICOpts(spec, prior, src, samples, EstimateOptions{Workers: workers, Recorder: rec})
+}
+
+// EstimateOptions bundles the estimator's optional knobs.
+type EstimateOptions struct {
+	// Workers caps the worker pool; <= 0 means one worker per CPU.
+	Workers int
+	// Recorder receives estimator telemetry; nil disables recording.
+	Recorder telemetry.Recorder
+	// DisableLanes forces the scalar engine even for (spec, prior) pairs
+	// the 64-lane batch engine could serve. The estimate is bit-identical
+	// either way — pinned by the batching-equivalence tests — so the knob
+	// exists only for benchmark comparisons and the experiments' -batch
+	// flag, never for correctness.
+	DisableLanes bool
+}
+
+// EstimateCICOpts is the full-control estimator entry point every other
+// Estimate* variant delegates to. When the protocol certifies a lane
+// kernel and the prior exposes two-point rows (see lane.go), shards run
+// on the 64-lane batch engine; otherwise — or when opts.DisableLanes is
+// set — they run on the scalar engine. Both paths share the shard layout
+// and merge, so results are bit-identical across worker counts and
+// across engines.
+func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts EstimateOptions) (*CICEstimate, error) {
 	if err := validateShapes(spec, prior); err != nil {
 		return nil, err
 	}
@@ -74,19 +99,33 @@ func EstimateCICRecorded(spec Spec, prior Prior, src *rng.Source, samples, worke
 	if src == nil {
 		return nil, fmt.Errorf("core: nil randomness source")
 	}
+	var plan *lanePlan
+	if !opts.DisableLanes {
+		plan = newLanePlan(spec, prior)
+	}
+	rec := opts.Recorder
 	shards := (samples + cicShardSize - 1) / cicShardSize
 	streams := src.SplitN(shards)
 	if rec != nil {
 		rec.Count(telemetry.CoreCICSamples, int64(samples))
 		rec.Count(telemetry.CoreCICShards, int64(shards))
+		if plan != nil {
+			rec.Count(telemetry.CoreCICLaneSamples, int64(samples))
+		}
 	}
-	parts, err := pool.MapRecorded(pool.Workers(workers), shards, func(i int) (cicPartial, error) {
+	parts, err := pool.MapRecorded(pool.Workers(opts.Workers), shards, func(i int) (cicPartial, error) {
 		count := cicShardSize
 		if i == shards-1 {
 			count = samples - i*cicShardSize
 		}
 		span := telemetry.StartSpan(rec, telemetry.CoreCICShardNs)
-		p, err := cicShard(spec, prior, streams[i], count)
+		var p cicPartial
+		var err error
+		if plan != nil {
+			p = laneShard(plan, streams[i], count)
+		} else {
+			p, err = cicShard(spec, prior, streams[i], count)
+		}
 		span.End()
 		return p, err
 	}, rec)

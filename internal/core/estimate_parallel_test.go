@@ -8,6 +8,7 @@ import (
 	"broadcastic/internal/core"
 	"broadcastic/internal/dist"
 	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
 )
 
 // TestEstimateCICWorkerCountInvariance is the estimator half of the
@@ -70,6 +71,84 @@ func TestEstimateCICShardRaggedBudgets(t *testing.T) {
 		if est.MeanBits <= 0 {
 			t.Fatalf("samples=%d: non-positive mean bits %v", samples, est.MeanBits)
 		}
+	}
+}
+
+// TestEstimateCICBatchingEquivalence is the batching half of the
+// serial-equivalence guarantee: with the 64-lane engine on (the default)
+// and off, EstimateCICOpts must produce the identical CICEstimate — every
+// field, every bit — at 1 and 4 workers, on every lane-eligible protocol
+// shape. The telemetry counter proves the lane engine genuinely engaged
+// rather than silently falling back to scalar.
+func TestEstimateCICBatchingEquivalence(t *testing.T) {
+	// 1300 samples spans multiple shards including a ragged final shard.
+	const samples = 1300
+	for _, k := range []int{4, 32, 64} {
+		mu, err := dist.NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := andk.NewSequential(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := andk.NewBroadcastAll(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err := andk.NewTruncated(k, (k+1)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []core.Spec{seq, all, trunc} {
+			for _, workers := range []int{1, 4} {
+				col := telemetry.NewCollector()
+				batched, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
+					core.EstimateOptions{Workers: workers, Recorder: col})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := col.Snapshot()[telemetry.CoreCICLaneSamples]; got != samples {
+					t.Fatalf("k=%d workers=%d %T: lane engine served %v samples, want %d",
+						k, workers, spec, got, samples)
+				}
+				scalar, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
+					core.EstimateOptions{Workers: workers, DisableLanes: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *batched != *scalar {
+					t.Fatalf("k=%d workers=%d %T: batched estimate %+v != scalar estimate %+v",
+						k, workers, spec, batched, scalar)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateCICLazyFallsBackToScalar pins the fallback rule end to end:
+// the Lazy protocol's opening coin is a non-deterministic message, so it
+// must run on the scalar engine (no lane telemetry) and still succeed.
+func TestEstimateCICLazyFallsBackToScalar(t *testing.T) {
+	lazy, err := andk.NewLazy(8, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dist.NewMu(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	est, err := core.EstimateCICOpts(lazy, mu, rng.New(5), 600,
+		core.EstimateOptions{Workers: 2, Recorder: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanBits <= 0 {
+		t.Fatalf("degenerate estimate %+v", est)
+	}
+	if got, ok := col.Snapshot()[telemetry.CoreCICLaneSamples]; ok && got != 0 {
+		t.Fatalf("lane engine engaged on a non-lane protocol: %v samples", got)
 	}
 }
 

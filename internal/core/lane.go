@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync"
+
+	"broadcastic/internal/batch"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+// Lane estimator: the 64-lane batch engine's hook into EstimateCICWorkers.
+//
+// For bit-valued protocols that certify a batch.LaneSpec (andk's
+// Sequential, BroadcastAll, Truncated) under a prior exposing two-point
+// conditional rows (dist.Mu), one estimator sample collapses to: prefetch
+// the sample's k+1 raw RNG outputs, pick the auxiliary value, threshold
+// each speaking player's input bit against its row, and add the
+// precomputed divergence term of the announced bit. No per-step interface
+// calls, no q-factor updates, no log2 in the loop — yet the result is
+// bit-identical to the scalar engine, because:
+//
+//   - Draw alignment: a scalar sample consumes 1 + k + T uniforms (aux,
+//     inputs, point-mass messages). The lane path prefetches the first
+//     k+1 raw outputs with rng.Uint64s, converts them through rng.U01
+//     (the exact Float64 mapping), and rng.Skips the T message draws —
+//     same stream positions, same values, same final state.
+//   - Sampling: prob.Dist.SampleU and batch.TwoPoint share the linear
+//     scan's thresholds, so every aux value and input bit matches.
+//   - Scoring: for a spoken two-point row the scalar posterior sum
+//     contributes exactly log2(1/P(bit)) (precomputed in TwoPoint), and
+//     for an unspoken row whose mass sums to exactly 1.0 it contributes
+//     exactly +0.0 — MakeTwoPoint rejects rows violating that, and
+//     adding +0.0 is a bit-exact no-op, so skipping unspoken players
+//     preserves the scalar accumulation order bit for bit.
+//
+// Anything failing the eligibility checks falls back to the scalar shard
+// loop; the shard layout is shared, so worker-count invariance holds on
+// both paths. DESIGN.md §10 documents the full contract.
+
+// lanePlan is the precomputed per-estimation state of the lane engine:
+// the certified protocol shape, the prior's row table in TwoPoint form,
+// and the auxiliary distribution. Built once per estimation, read-only
+// across shards (safe for concurrent workers).
+type lanePlan struct {
+	ls   batch.LaneSpec
+	lp   batch.LanePrior
+	zd   prob.Dist
+	rows []batch.TwoPoint
+}
+
+// newLanePlan returns the lane plan for (spec, prior), or nil when any
+// eligibility condition fails — nil means "use the scalar engine", never
+// an error. The conditions mirror exactly what the bit-identity argument
+// above needs; validateShapes has already run.
+func newLanePlan(spec Spec, prior Prior) *lanePlan {
+	kern, ok := spec.(batch.Kernel)
+	if !ok {
+		return nil
+	}
+	ls, ok := kern.LaneKernel()
+	if !ok || ls.Validate() != nil {
+		return nil
+	}
+	if ls.Players != spec.NumPlayers() || spec.InputSize() != 2 {
+		return nil
+	}
+	// The scalar engine rejects transcripts deeper than defaultMaxDepth;
+	// keeping the cap within it means the lane path never has to
+	// replicate that error surface.
+	if ls.SpeakCap > defaultMaxDepth {
+		return nil
+	}
+	lp, ok := prior.(batch.LanePrior)
+	if !ok {
+		return nil
+	}
+	laneRows := lp.LaneRows()
+	if len(laneRows) == 0 || len(laneRows) > 256 {
+		return nil
+	}
+	rows := make([]batch.TwoPoint, len(laneRows))
+	for i, row := range laneRows {
+		tp, err := batch.MakeTwoPoint(row)
+		if err != nil {
+			return nil
+		}
+		rows[i] = tp
+	}
+	zd, err := auxDist(prior)
+	if err != nil {
+		return nil // the scalar shard will surface the error
+	}
+	return &lanePlan{ls: ls, lp: lp, zd: zd, rows: rows}
+}
+
+// laneScratch is the lane engine's per-shard buffer pair: the prefetched
+// raw RNG outputs of one sample (aux + k inputs) and the per-player row
+// indices. Pooled like execScratch so the steady-state sample loop is
+// allocation-free (pinned by TestLaneSampleLoopZeroAllocs).
+type laneScratch struct {
+	k      int
+	raw    []uint64
+	rowIdx []uint8
+}
+
+var laneScratchPool sync.Pool
+
+func getLaneScratch(k int) *laneScratch {
+	if v := laneScratchPool.Get(); v != nil {
+		sc := v.(*laneScratch)
+		if sc.k == k {
+			return sc
+		}
+	}
+	return &laneScratch{k: k, raw: make([]uint64, k+1), rowIdx: make([]uint8, k)}
+}
+
+func putLaneScratch(sc *laneScratch) { laneScratchPool.Put(sc) }
+
+// laneShard is the lane engine's replacement for cicShard: same shard
+// stream, same sample count, bit-identical cicPartial.
+func laneShard(plan *lanePlan, src *rng.Source, count int) cicPartial {
+	sc := getLaneScratch(plan.ls.Players)
+	defer putLaneScratch(sc)
+
+	speakCap := plan.ls.SpeakCap
+	halt := plan.ls.HaltOnZero
+	rows := plan.rows
+
+	var p cicPartial
+	for s := 0; s < count; s++ {
+		// One batch fill covers the sample's aux draw and all k input
+		// draws; the message draws are skipped below once the transcript
+		// length is known (point-mass messages ignore their uniform).
+		src.Uint64s(sc.raw)
+		z := plan.zd.SampleU(rng.U01(sc.raw[0]))
+		plan.lp.LaneRowsOf(z, sc.rowIdx)
+
+		inner := 0.0
+		steps := 0
+		for i := 0; i < speakCap; i++ {
+			r := &rows[sc.rowIdx[i]]
+			steps++
+			// Row mass sums to exactly 1 and uniforms live in [0,1), so
+			// the two-point threshold never reaches the fallback branch:
+			// the bit is 0 iff u < P0, exactly as the scalar linear scan.
+			if rng.U01(sc.raw[i+1]) < r.P0 {
+				inner += r.D0
+				if halt {
+					break
+				}
+			} else {
+				inner += r.D1
+			}
+		}
+		src.Skip(uint64(steps))
+
+		p.sum += inner
+		p.sumSq += inner * inner
+		p.bitsSum += float64(steps)
+	}
+	return p
+}

@@ -1,0 +1,206 @@
+package core
+
+// White-box tests for the lane estimator: shard-level bit-identity against
+// the scalar engine, eligibility gating, and the zero-allocation pin that
+// extends the PR 4 alloc gate to the lane path. Fixtures are in-package
+// (core tests cannot import andk/dist without a cycle); a laneFixtureSpec
+// is the generic scalar realization of a batch.LaneSpec, so shard equality
+// here checks the lane engine against the full tree-walking engine on
+// every certified shape, not against a second shortcut.
+
+import (
+	"testing"
+
+	"broadcastic/internal/batch"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+// laneFixtureSpec scalar-implements an arbitrary batch.LaneSpec: players
+// speak in order up to cap, announcing their input bit, optionally halting
+// after the first 0.
+type laneFixtureSpec struct {
+	k, cap int
+	halt   bool
+	bits   [2]prob.Dist
+}
+
+func newLaneFixtureSpec(t *testing.T, k, cap int, halt bool) *laneFixtureSpec {
+	t.Helper()
+	b0, err := prob.Point(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := prob.Point(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &laneFixtureSpec{k: k, cap: cap, halt: halt, bits: [2]prob.Dist{b0, b1}}
+}
+
+func (s *laneFixtureSpec) NumPlayers() int { return s.k }
+func (s *laneFixtureSpec) InputSize() int  { return 2 }
+func (s *laneFixtureSpec) NextSpeaker(t Transcript) (int, bool, error) {
+	if s.halt && len(t) > 0 && t[len(t)-1] == 0 {
+		return 0, true, nil
+	}
+	if len(t) >= s.cap {
+		return 0, true, nil
+	}
+	return len(t), false, nil
+}
+func (s *laneFixtureSpec) MessageAlphabet(Transcript) (int, error) { return 2, nil }
+func (s *laneFixtureSpec) MessageDist(_ Transcript, _, input int) (prob.Dist, error) {
+	return s.bits[input], nil
+}
+func (s *laneFixtureSpec) MessageBits(Transcript, int) (int, error) { return 1, nil }
+func (s *laneFixtureSpec) Output(t Transcript) (int, error) {
+	for _, b := range t {
+		if b == 0 {
+			return 0, nil
+		}
+	}
+	return 1, nil
+}
+func (s *laneFixtureSpec) LaneKernel() (batch.LaneSpec, bool) {
+	return batch.LaneSpec{Players: s.k, SpeakCap: s.cap, HaltOnZero: s.halt}, true
+}
+
+var _ Spec = (*laneFixtureSpec)(nil)
+var _ batch.Kernel = (*laneFixtureSpec)(nil)
+
+// twoRowPrior is the Mu-shaped fixture: auxiliary value z marks one
+// special player with a point mass on 0, everyone else shares a Bernoulli
+// row whose mass sums to exactly 1 in floating point.
+type twoRowPrior struct {
+	k    int
+	rows [2]prob.Dist
+}
+
+func newTwoRowPrior(t *testing.T, k int, pOne float64) *twoRowPrior {
+	t.Helper()
+	special, err := prob.Point(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regular, err := prob.Bernoulli(pOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &twoRowPrior{k: k, rows: [2]prob.Dist{special, regular}}
+}
+
+func (p *twoRowPrior) NumPlayers() int     { return p.k }
+func (p *twoRowPrior) InputSize() int      { return 2 }
+func (p *twoRowPrior) AuxSize() int        { return p.k }
+func (p *twoRowPrior) AuxProb(int) float64 { return 1 / float64(p.k) }
+func (p *twoRowPrior) PlayerDist(z, player int) (prob.Dist, error) {
+	if player == z {
+		return p.rows[0], nil
+	}
+	return p.rows[1], nil
+}
+func (p *twoRowPrior) LaneRows() []prob.Dist { return p.rows[:] }
+func (p *twoRowPrior) LaneRowsOf(z int, dst []uint8) {
+	for i := range dst {
+		dst[i] = 1
+	}
+	if z >= 0 && z < len(dst) {
+		dst[z] = 0
+	}
+}
+
+var _ Prior = (*twoRowPrior)(nil)
+var _ batch.LanePrior = (*twoRowPrior)(nil)
+
+// TestLaneShardMatchesScalarShard pins shard-level bit-identity: for every
+// certified lane shape the lane shard must reproduce the scalar shard's
+// raw moments exactly — same stream, same count, same floats — including
+// ragged shard sizes.
+func TestLaneShardMatchesScalarShard(t *testing.T) {
+	cases := []struct {
+		name   string
+		k, cap int
+		halt   bool
+	}{
+		{"sequential", 5, 5, true},
+		{"broadcast-all", 8, 8, false},
+		{"truncated", 12, 7, true},
+		{"single-player", 1, 1, true},
+		{"deep", 70, 70, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := newLaneFixtureSpec(t, tc.k, tc.cap, tc.halt)
+			prior := newTwoRowPrior(t, tc.k, 0.75)
+			plan := newLanePlan(spec, prior)
+			if plan == nil {
+				t.Fatal("lane plan unexpectedly ineligible")
+			}
+			for _, count := range []int{300, 97, 1} {
+				want, err := cicShard(spec, prior, rng.New(41), count)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := laneShard(plan, rng.New(41), count)
+				if got != want {
+					t.Fatalf("count %d: lane shard %+v != scalar shard %+v", count, got, want)
+				}
+			}
+			// The two engines must also leave the stream at the same
+			// position, or multi-shard draws would diverge.
+			s1, s2 := rng.New(9), rng.New(9)
+			if _, err := cicShard(spec, prior, s1, 50); err != nil {
+				t.Fatal(err)
+			}
+			laneShard(plan, s2, 50)
+			if s1.Uint64() != s2.Uint64() {
+				t.Fatal("lane shard left the RNG stream at a different position than the scalar shard")
+			}
+		})
+	}
+}
+
+// TestLanePlanEligibility pins the fallback rules: anything that cannot
+// guarantee bit-identity must yield a nil plan (scalar engine), never an
+// error.
+func TestLanePlanEligibility(t *testing.T) {
+	prior := newTwoRowPrior(t, 6, 0.75)
+	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), prior) == nil {
+		t.Fatal("certified spec with two-point prior should be lane-eligible")
+	}
+	if newLanePlan(newNoisySpec(t, 6), prior) != nil {
+		t.Fatal("spec without a lane kernel must fall back to scalar")
+	}
+	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), newMixturePrior(t, 6)) != nil {
+		t.Fatal("prior without lane rows must fall back to scalar")
+	}
+	deep := newLaneFixtureSpec(t, defaultMaxDepth+1, defaultMaxDepth+1, true)
+	if newLanePlan(deep, newTwoRowPrior(t, defaultMaxDepth+1, 0.75)) != nil {
+		t.Fatal("speak cap beyond the scalar depth limit must fall back to scalar")
+	}
+}
+
+// TestLaneSampleLoopZeroAllocs extends the PR 4 alloc gate to the batched
+// estimator: once the scratch pool is warm, the lane shard performs zero
+// heap allocations per call.
+func TestLaneSampleLoopZeroAllocs(t *testing.T) {
+	const k = 16
+	spec := newLaneFixtureSpec(t, k, k, true)
+	prior := newTwoRowPrior(t, k, 0.75)
+	plan := newLanePlan(spec, prior)
+	if plan == nil {
+		t.Fatal("lane plan unexpectedly ineligible")
+	}
+	src := rng.New(3)
+	laneShard(plan, src, 8) // warm the scratch pool
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		p := laneShard(plan, src, 4)
+		sink += p.sum
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state lane shard allocates %.1f objects/call; want 0", allocs)
+	}
+	_ = sink
+}

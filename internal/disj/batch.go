@@ -1,0 +1,147 @@
+package disj
+
+// 64-lane batch form of μ^n instance generation. A BatchInstance stores
+// up to 64 independent DISJ_{n,k} inputs in the lane layout of
+// internal/batch: one word per (player, coordinate) cell, lane L in bit
+// L. Ground-truth disjointness then costs one AND-OR sweep over the cell
+// words for all lanes together, and unpacking a lane back to a scalar
+// Instance is a bitvec.Transpose64 per 64-coordinate tile.
+//
+// The generator draws from the stream in exactly the order of 64
+// sequential GenerateFromMuNInto calls — lane by lane, coordinate by
+// coordinate — so a batch and its scalar unpacking are not merely
+// equidistributed but draw-for-draw identical (pinned by the equivalence
+// tests in batch_test.go).
+
+import (
+	"fmt"
+	"math/bits"
+
+	"broadcastic/internal/bitvec"
+	"broadcastic/internal/rng"
+)
+
+// BatchInstance packs Lanes ≤ 64 independent DISJ_{n,k} instances.
+// Words[i][j] holds bit L set iff coordinate j ∈ X_i in lane L.
+type BatchInstance struct {
+	N, K, Lanes int
+	Words       [][]uint64
+}
+
+// ActiveMask returns the lane mask with one bit per packed instance.
+func (b *BatchInstance) ActiveMask() uint64 {
+	if b.Lanes >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b.Lanes) - 1
+}
+
+// GenerateFromMuNBatch samples lanes independent μ^n instances into one
+// batch, reusing dst when it has the requested shape (pass nil for the
+// first call). The stream consumption is identical to lanes sequential
+// GenerateFromMuNInto calls on the same source, in lane order.
+func GenerateFromMuNBatch(dst *BatchInstance, src *rng.Source, n, k, lanes int) (*BatchInstance, error) {
+	if src == nil {
+		return nil, fmt.Errorf("disj: nil randomness source")
+	}
+	if n < 1 || k < 2 {
+		return nil, fmt.Errorf("disj: need n >= 1 and k >= 2, got n=%d k=%d", n, k)
+	}
+	if lanes < 1 || lanes > 64 {
+		return nil, fmt.Errorf("disj: lane count %d outside [1,64]", lanes)
+	}
+	b := dst
+	if b == nil || b.N != n || b.K != k || len(b.Words) != k {
+		b = &BatchInstance{N: n, K: k, Words: make([][]uint64, k)}
+		back := make([]uint64, k*n)
+		for i := range b.Words {
+			b.Words[i] = back[i*n : (i+1)*n : (i+1)*n]
+		}
+	} else {
+		for i := range b.Words {
+			row := b.Words[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	b.Lanes = lanes
+	invK := 1 / float64(k)
+	for L := 0; L < lanes; L++ {
+		bit := uint64(1) << uint(L)
+		for j := 0; j < n; j++ {
+			z := src.Intn(k)
+			for i := 0; i < k; i++ {
+				if i == z {
+					continue // forced zero: element absent
+				}
+				if !src.Bernoulli(invK) {
+					b.Words[i][j] |= bit
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// DisjointMask computes every lane's ground truth in one sweep: bit L set
+// iff lane L's instance is disjoint. A coordinate kills a lane when all k
+// players hold it, so the per-coordinate AND across players, ORed over
+// coordinates, is the lane mask of non-disjoint instances.
+func (b *BatchInstance) DisjointMask() uint64 {
+	var common uint64
+	for j := 0; j < b.N; j++ {
+		m := b.Words[0][j]
+		for i := 1; i < b.K; i++ {
+			m &= b.Words[i][j]
+		}
+		common |= m
+	}
+	return b.ActiveMask() &^ common
+}
+
+// CountDisjoint returns how many packed instances are disjoint.
+func (b *BatchInstance) CountDisjoint() int {
+	return bits.OnesCount64(b.DisjointMask())
+}
+
+// Unpack expands the batch into per-lane scalar Instances, converting
+// each player's 64-coordinate tile from lane layout to per-instance
+// vector words with a single bitvec.Transpose64 (instead of 64·n Get/Set
+// calls). The result's lane L is draw-for-draw the instance a scalar
+// GenerateFromMuNInto would have produced at lane L's stream position.
+func (b *BatchInstance) Unpack() ([]*Instance, error) {
+	insts := make([]*Instance, b.Lanes)
+	for L := range insts {
+		sets := make([]*bitvec.Vector, b.K)
+		for i := range sets {
+			v, err := bitvec.New(b.N)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = v
+		}
+		insts[L] = &Instance{N: b.N, K: b.K, Sets: sets}
+	}
+	var m [64]uint64
+	for i := 0; i < b.K; i++ {
+		row := b.Words[i]
+		for tile := 0; tile*64 < b.N; tile++ {
+			count := b.N - tile*64
+			if count > 64 {
+				count = 64
+			}
+			copy(m[:count], row[tile*64:tile*64+count])
+			for t := count; t < 64; t++ {
+				m[t] = 0
+			}
+			bitvec.Transpose64(&m)
+			for L := 0; L < b.Lanes; L++ {
+				if err := insts[L].Sets[i].SetWord(tile, m[L]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return insts, nil
+}

@@ -1,0 +1,120 @@
+package disj_test
+
+// Lane-equivalence tests for batched μ^n generation: a 64-lane batch and
+// the corresponding sequence of scalar generations from the same seed
+// must agree draw for draw — identical sets, identical ground truth,
+// identical final stream position — including ragged lane counts and
+// universes that do not fill a 64-coordinate tile.
+
+import (
+	"testing"
+
+	"broadcastic/internal/disj"
+	"broadcastic/internal/rng"
+)
+
+func TestGenerateFromMuNBatchMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name  string
+		n, k  int
+		lanes int
+		seed  uint64
+	}{
+		{"full-batch", 100, 6, 64, 11},
+		{"ragged-lanes", 70, 4, 37, 12},
+		{"single-lane", 5, 2, 1, 13},
+		{"tile-boundary", 64, 3, 64, 14},
+		{"tiny-universe", 1, 5, 9, 15},
+		{"multi-tile", 200, 8, 64, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batchSrc := rng.New(tc.seed)
+			b, err := disj.GenerateFromMuNBatch(nil, batchSrc, tc.n, tc.k, tc.lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts, err := b.Unpack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(insts) != tc.lanes {
+				t.Fatalf("unpacked %d lanes, want %d", len(insts), tc.lanes)
+			}
+
+			scalarSrc := rng.New(tc.seed)
+			mask := b.DisjointMask()
+			for L := 0; L < tc.lanes; L++ {
+				want, err := disj.GenerateFromMuN(scalarSrc, tc.n, tc.k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := insts[L]
+				for i := 0; i < tc.k; i++ {
+					for w := 0; w < want.Sets[i].Words(); w++ {
+						if got.Sets[i].Word(w) != want.Sets[i].Word(w) {
+							t.Fatalf("lane %d player %d word %d: batch %#x != scalar %#x",
+								L, i, w, got.Sets[i].Word(w), want.Sets[i].Word(w))
+						}
+					}
+				}
+				wantDisj, err := want.Disjoint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotDisj := mask>>uint(L)&1 == 1; gotDisj != wantDisj {
+					t.Fatalf("lane %d: DisjointMask says %v, scalar ground truth %v",
+						L, gotDisj, wantDisj)
+				}
+			}
+			// Draw alignment: the batch must leave the stream exactly where
+			// the scalar sequence left it.
+			if batchSrc.Uint64() != scalarSrc.Uint64() {
+				t.Fatal("batch generation left the RNG stream at a different position")
+			}
+		})
+	}
+}
+
+// TestGenerateFromMuNBatchReuse pins the Into-style reuse contract: a
+// refilled batch is indistinguishable from a freshly allocated one.
+func TestGenerateFromMuNBatchReuse(t *testing.T) {
+	const n, k, lanes = 90, 5, 64
+	fresh, err := disj.GenerateFromMuNBatch(nil, rng.New(7), n, k, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := disj.GenerateFromMuNBatch(nil, rng.New(99), n, k, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused, err = disj.GenerateFromMuNBatch(reused, rng.New(7), n, k, lanes); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			if fresh.Words[i][j] != reused.Words[i][j] {
+				t.Fatalf("player %d coord %d: reused batch %#x != fresh %#x",
+					i, j, reused.Words[i][j], fresh.Words[i][j])
+			}
+		}
+	}
+}
+
+func TestGenerateFromMuNBatchValidation(t *testing.T) {
+	if _, err := disj.GenerateFromMuNBatch(nil, nil, 5, 3, 8); err == nil {
+		t.Fatal("nil source succeeded")
+	}
+	if _, err := disj.GenerateFromMuNBatch(nil, rng.New(1), 0, 3, 8); err == nil {
+		t.Fatal("n=0 succeeded")
+	}
+	if _, err := disj.GenerateFromMuNBatch(nil, rng.New(1), 5, 1, 8); err == nil {
+		t.Fatal("k=1 succeeded")
+	}
+	if _, err := disj.GenerateFromMuNBatch(nil, rng.New(1), 5, 3, 0); err == nil {
+		t.Fatal("0 lanes succeeded")
+	}
+	if _, err := disj.GenerateFromMuNBatch(nil, rng.New(1), 5, 3, 65); err == nil {
+		t.Fatal("65 lanes succeeded")
+	}
+}

@@ -1,0 +1,39 @@
+package disj_test
+
+// External home of the breakdown accounting test: it needs the shared
+// disjtest generators, which an in-package test file cannot import
+// (disjtest imports disj). Everything it exercises is exported API.
+
+import (
+	"testing"
+
+	"broadcastic/internal/disj"
+	"broadcastic/internal/disj/disjtest"
+	"broadcastic/internal/rng"
+)
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	src := rng.New(313)
+	for trial := 0; trial < 40; trial++ {
+		n := src.Intn(3000) + 1
+		k := src.Intn(12) + 1
+		inst, err := disjtest.GenerateFromMuNOrSmallK(src, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, bd, err := disj.SolveOptimalDetailed(inst, disj.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd.PassBits+bd.BatchBits+bd.EndgameBits != out.Bits {
+			t.Fatalf("n=%d k=%d: breakdown %d+%d+%d != total %d",
+				n, k, bd.PassBits, bd.BatchBits, bd.EndgameBits, out.Bits)
+		}
+		if bd.Cycles < 1 {
+			t.Fatalf("breakdown reports %d cycles", bd.Cycles)
+		}
+	}
+	if _, _, err := disj.SolveOptimalDetailed(nil, disj.Options{}); err == nil {
+		t.Fatal("nil instance succeeded")
+	}
+}

@@ -399,40 +399,10 @@ func TestNoBatchingCostsMore(t *testing.T) {
 	}
 }
 
-func TestBreakdownSumsToTotal(t *testing.T) {
-	src := rng.New(313)
-	for trial := 0; trial < 40; trial++ {
-		n := src.Intn(3000) + 1
-		k := src.Intn(12) + 1
-		inst, err := GenerateFromMuNOrSmallK(src, n, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		out, bd, err := SolveOptimalDetailed(inst, Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if bd.PassBits+bd.BatchBits+bd.EndgameBits != out.Bits {
-			t.Fatalf("n=%d k=%d: breakdown %d+%d+%d != total %d",
-				n, k, bd.PassBits, bd.BatchBits, bd.EndgameBits, out.Bits)
-		}
-		if bd.Cycles < 1 {
-			t.Fatalf("breakdown reports %d cycles", bd.Cycles)
-		}
-	}
-	if _, _, err := SolveOptimalDetailed(nil, Options{}); err == nil {
-		t.Fatal("nil instance succeeded")
-	}
-}
-
-// GenerateFromMuNOrSmallK falls back to GenerateDisjoint for k = 1 where
-// μ^n is undefined.
-func GenerateFromMuNOrSmallK(src *rng.Source, n, k int) (*Instance, error) {
-	if k >= 2 {
-		return GenerateFromMuN(src, n, k)
-	}
-	return GenerateDisjoint(src, n, k, 0.5)
-}
+// TestBreakdownSumsToTotal moved to breakdown_external_test.go (package
+// disj_test) so it can use the shared disjtest helper package; an
+// in-package test file cannot import disjtest without an import cycle.
+// The GenerateFromMuNOrSmallK helper it used lives there now too.
 
 func TestDecoderRejectsCorruptMessages(t *testing.T) {
 	// Failure injection: a malformed blackboard write must produce an

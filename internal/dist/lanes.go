@@ -1,0 +1,46 @@
+package dist
+
+// Lane-engine hooks: μ exposes its conditional structure to the 64-lane
+// batch estimator, and the Lemma 6 distribution exposes an allocation-free
+// sampler for the batched E6 trial loop. Both are structural — dist does
+// not import the batch package; batch.LanePrior is satisfied by method
+// shape, keeping the production dependency graph acyclic and lean.
+
+import (
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+)
+
+// LaneRows implements batch.LanePrior: μ's per-player conditionals
+// collapse to two shared rows — row 0 is the special player's point mass
+// on 0, row 1 the regular Bernoulli(1 − 1/k). These are the same cached
+// prob.Dist values PlayerDist returns, so lane sampling sees the exact
+// distributions of the scalar path.
+func (m *Mu) LaneRows() []prob.Dist {
+	return []prob.Dist{m.special, m.regular}
+}
+
+// LaneRowsOf implements batch.LanePrior: given Z = z, every player uses
+// the regular row except the special player z.
+func (m *Mu) LaneRowsOf(z int, dst []uint8) {
+	for i := range dst {
+		dst[i] = 1
+	}
+	if z >= 0 && z < len(dst) {
+		dst[z] = 0
+	}
+}
+
+// SampleZero draws only the zero position of a Sample draw: −1 for the
+// all-ones input, else the uniformly random player receiving 0. It
+// consumes the stream draw-for-draw identically to Sample — same
+// Bernoulli(ε′) flip, same conditional Intn(k) — without allocating the
+// input slice, which is all the word-parallel E6 evaluator needs: lane L
+// of the packed inputs is all-ones except bit L cleared in word
+// SampleZero(src), when non-negative.
+func (d *Lemma6Dist) SampleZero(src *rng.Source) int {
+	if src.Bernoulli(d.epsPrime) {
+		return -1
+	}
+	return src.Intn(d.k)
+}

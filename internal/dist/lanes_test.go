@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"testing"
+
+	"broadcastic/internal/batch"
+	"broadcastic/internal/rng"
+)
+
+// μ must satisfy the lane-prior contract structurally; the assertion
+// lives in a test so the production package keeps zero batch imports.
+var _ batch.LanePrior = (*Mu)(nil)
+
+// TestMuLaneRowsMatchPlayerDist pins that the lane row table and index
+// map reproduce PlayerDist exactly — same cached Dist values, so lane
+// sampling and scalar sampling share distributions bit for bit.
+func TestMuLaneRowsMatchPlayerDist(t *testing.T) {
+	for _, k := range []int{2, 5, 64} {
+		m, err := NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := m.LaneRows()
+		if len(rows) != 2 {
+			t.Fatalf("k=%d: %d lane rows, want 2", k, len(rows))
+		}
+		idx := make([]uint8, k)
+		for z := 0; z < k; z++ {
+			m.LaneRowsOf(z, idx)
+			for i := 0; i < k; i++ {
+				want, err := m.PlayerDist(z, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := rows[idx[i]]
+				for v := 0; v < 2; v++ {
+					if got.P(v) != want.P(v) {
+						t.Fatalf("k=%d z=%d player %d: lane row P(%d)=%v, PlayerDist %v",
+							k, z, i, v, got.P(v), want.P(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMuLaneRowsAreTwoPointEligible pins that μ's rows pass the lane
+// estimator's exactness gate for every k — regression guard for the
+// floating-point identity fl((1/k) + (1 − 1/k)) == 1 the lane path needs.
+func TestMuLaneRowsAreTwoPointEligible(t *testing.T) {
+	for k := 2; k <= 256; k++ {
+		m, err := NewMu(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, row := range m.LaneRows() {
+			if _, err := batch.MakeTwoPoint(row); err != nil {
+				t.Fatalf("k=%d row %d: %v", k, ri, err)
+			}
+		}
+	}
+}
+
+// TestSampleZeroMatchesSample pins draw-for-draw identity between the
+// allocation-free SampleZero and the allocating Sample.
+func TestSampleZeroMatchesSample(t *testing.T) {
+	d, err := NewLemma6Dist(64, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rng.New(77), rng.New(77)
+	for trial := 0; trial < 2000; trial++ {
+		x, zeroAt := d.Sample(a)
+		got := d.SampleZero(b)
+		if got != zeroAt {
+			t.Fatalf("trial %d: SampleZero %d != Sample zeroAt %d", trial, got, zeroAt)
+		}
+		for i, v := range x {
+			want := 1
+			if i == zeroAt {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("trial %d: x[%d]=%d inconsistent with zeroAt %d", trial, i, v, zeroAt)
+			}
+		}
+	}
+	// Same stream position afterwards.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SampleZero left the stream at a different position than Sample")
+	}
+}

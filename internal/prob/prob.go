@@ -191,6 +191,16 @@ func (d Dist) Sample(src *rng.Source) int {
 	return d.sampleIndex(src.Float64())
 }
 
+// SampleU is the deterministic half of Sample: it maps a caller-supplied
+// uniform draw u ∈ [0,1) to an outcome through exactly the code path
+// Sample uses (prefix-sum table when cached, linear scan otherwise).
+// Callers that manage their own draw stream — e.g. the lane engine, which
+// prefetches raw outputs with rng.Uint64s and converts them via rng.U01 —
+// get outcomes bit-identical to Sample on the same stream.
+func (d Dist) SampleU(u float64) int {
+	return d.sampleIndex(u)
+}
+
 // Uncached returns a copy of d that samples through the linear scan even
 // on large supports. It exists for benchmarks and equivalence tests that
 // compare the two sampling paths; production callers never need it.

@@ -122,9 +122,28 @@ func (s *Source) SplitN(n int) []*Source {
 	return out
 }
 
+// Skip advances the stream past n raw 64-bit outputs in O(1), leaving the
+// state exactly where n Uint64 calls would have left it (each output
+// advances the state by the fixed constant gamma, so skipping is a single
+// multiply-add). Mark/DrawsSince accounting counts the skipped outputs as
+// drawn. The lane engine uses Skip to stay draw-aligned with scalar
+// execution when the skipped values provably cannot influence the result
+// (point-mass message draws return the same symbol for every uniform).
+func (s *Source) Skip(n uint64) {
+	s.state += gamma * n
+}
+
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
 func (s *Source) Float64() float64 {
-	return float64(s.Uint64()>>11) / (1 << 53)
+	return U01(s.Uint64())
+}
+
+// U01 maps one raw 64-bit output to the uniform [0, 1) value Float64
+// derives from it. Batch consumers that prefetch raw outputs with Uint64s
+// convert them through U01 to obtain the exact floats a sequence of
+// Float64 calls would have produced.
+func U01(w uint64) float64 {
+	return float64(w>>11) / (1 << 53)
 }
 
 // Intn returns a uniform value in [0, n). It panics only on n <= 0, which is

@@ -50,6 +50,44 @@ func TestSerialEquivalence(t *testing.T) {
 	}
 }
 
+// TestBatchingTableEquivalence pins the lane engine's sim-facing contract:
+// every experiment that routes through the 64-lane batch path (E4 and E7
+// via the lane estimator, E6 via the word-parallel trial executor) must
+// render a byte-identical table with batching disabled — at both serial
+// and parallel worker counts, since the two toggles compose.
+func TestBatchingTableEquivalence(t *testing.T) {
+	render := func(f func(Config) (*Table, error), disable bool, workers int) string {
+		t.Helper()
+		tbl, err := f(Config{Seed: 7, Scale: Quick, Workers: workers, DisableBatching: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	experiments := []struct {
+		id string
+		f  func(Config) (*Table, error)
+	}{
+		{"E4", E4AndInfoCost},
+		{"E6", E6TruncatedError},
+		{"E7", E7InfoCommGap},
+	}
+	for _, e := range experiments {
+		for _, workers := range []int{1, 4} {
+			batched := render(e.f, false, workers)
+			scalar := render(e.f, true, workers)
+			if batched != scalar {
+				t.Fatalf("%s: workers=%d batched render differs from scalar:\n--- batched ---\n%s--- scalar ---\n%s",
+					e.id, workers, batched, scalar)
+			}
+		}
+	}
+}
+
 // TestAllWorkerCountInvariance renders the full suite at 1 and 4 workers;
 // every one of the twenty tables must match byte for byte.
 func TestAllWorkerCountInvariance(t *testing.T) {

@@ -36,7 +36,8 @@ const (
 	PoolUtilization  = "pool.utilization"    // histogram: busy/(workers*wall) per invocation
 
 	// Estimators (internal/core).
-	CoreCICSamples = "core.cic.samples"  // counter: Monte-Carlo samples drawn
-	CoreCICShards  = "core.cic.shards"   // counter: estimator shards evaluated
-	CoreCICShardNs = "core.cic.shard_ns" // histogram: wall time per shard
+	CoreCICSamples     = "core.cic.samples"      // counter: Monte-Carlo samples drawn
+	CoreCICShards      = "core.cic.shards"       // counter: estimator shards evaluated
+	CoreCICShardNs     = "core.cic.shard_ns"     // histogram: wall time per shard
+	CoreCICLaneSamples = "core.cic.lane_samples" // counter: samples served by the 64-lane engine
 )
