@@ -5,13 +5,19 @@
 //	/metrics       Prometheus text exposition of the shared collector
 //	/healthz       liveness + build identity JSON
 //	/runs          per-experiment progress (NDJSON; ?follow=1 or SSE streams)
+//	/jobs          multi-tenant job API (POST to submit, GET to inspect,
+//	               DELETE to cancel) over a bounded worker fleet with a
+//	               content-addressed result cache
 //	/debug/pprof/  runtime profiles
 //
 // Usage:
 //
 //	broadcasticd [-serve 127.0.0.1:8344] [-seed N] [-scale quick|full]
 //	             [-only E4,E7] [-parallel N] [-once] [-runtrace dir]
-//	             [-log level] [-logformat text|json] [-version]
+//	             [-suite=false] [-jobs=false] [-job-workers N]
+//	             [-queue-cap N] [-cache-entries N] [-cache-bytes N]
+//	             [-cache-dir dir] [-log level] [-logformat text|json]
+//	             [-version]
 //
 // Tables print to stdout exactly as cmd/experiments prints them; the
 // serving, tracing and logging planes only observe, so stdout is
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"broadcastic/internal/buildinfo"
+	"broadcastic/internal/jobs"
 	"broadcastic/internal/serve"
 	"broadcastic/internal/sim"
 	"broadcastic/internal/telemetry"
@@ -59,6 +66,13 @@ func run(args []string, out io.Writer) error {
 	batched := fs.Bool("batch", true, "use the 64-lane word-parallel engine where eligible; output is identical either way")
 	once := fs.Bool("once", false, "exit when the suite completes instead of serving until a signal")
 	runtrace := fs.String("runtrace", "", "directory for per-experiment Chrome trace-event files")
+	suite := fs.Bool("suite", true, "run the experiment suite at startup (disable for a pure job service)")
+	jobsOn := fs.Bool("jobs", true, "serve the /jobs API")
+	jobWorkers := fs.Int("job-workers", 0, "job worker fleet size (0 = one per CPU)")
+	queueCap := fs.Int("queue-cap", jobs.DefaultQueueCap, "per-tenant job queue capacity")
+	cacheEntries := fs.Int("cache-entries", 64, "result cache capacity in entries")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache capacity in bytes (0 = unbounded)")
+	cacheDir := fs.String("cache-dir", "", "directory for cache disk spill (\"\" = memory only)")
 	var logCfg telemetry.LogConfig
 	logCfg.AddFlags(fs)
 	version := buildinfo.Flag(fs)
@@ -93,14 +107,42 @@ func run(args []string, out io.Writer) error {
 	}
 
 	col := telemetry.NewCollector()
-	broker := serve.NewBroker()
-	srv, err := serve.Start(*addr, serve.NewMux(col, broker))
+	broker := serve.NewBrokerRecorded(col)
+	mux := serve.NewMux(col, broker)
+	var svc *jobs.Service
+	if *jobsOn {
+		if *cacheDir != "" {
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				return err
+			}
+		}
+		svc = jobs.New(jobs.Options{
+			Workers:  *jobWorkers,
+			QueueCap: *queueCap,
+			Cache:    jobs.NewCache(*cacheEntries, *cacheBytes, *cacheDir, col),
+			Recorder: col,
+			// Submitted jobs stream on /runs alongside the suite, keyed by
+			// job ID so concurrent runs of the same experiment stay distinct.
+			Progress: func(jobID, experiment string) func(done, total int) {
+				return broker.ProgressFunc(jobID, experiment, col)
+			},
+		})
+		serve.AttachJobs(mux, svc)
+	}
+	srv, err := serve.Start(*addr, mux)
 	if err != nil {
+		if svc != nil {
+			svc.Close()
+		}
 		return err
 	}
 	logger.Info("observability plane up",
-		"addr", srv.Addr(), "scale", *scale, "seed", *seed, "experiments", len(selected))
+		"addr", srv.Addr(), "scale", *scale, "seed", *seed,
+		"experiments", len(selected), "jobs", *jobsOn)
 
+	if !*suite {
+		selected = nil
+	}
 	// Experiments run sequentially: the daemon's point is a legible live
 	// view, and one experiment at a time keeps /runs progress and the
 	// /metrics deltas attributable. Each sweep still parallelizes its
@@ -144,7 +186,13 @@ func run(args []string, out io.Writer) error {
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return srv.Shutdown(shutdownCtx)
+	// HTTP first (no new submissions), then drain the job fleet.
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	if svc != nil {
+		svc.Close()
+		logger.Info("job service drained")
+	}
+	return shutdownErr
 }
 
 func selectExperiments(only string) ([]sim.Experiment, error) {

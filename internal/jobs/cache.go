@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"broadcastic/internal/telemetry"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over
+// rendered result bytes, keyed by JobSpec.Key, with an optional disk
+// spill directory that catches evictions. All methods are safe for
+// concurrent use.
+//
+// The spill is best-effort by design: a result lost to an I/O error is
+// merely recomputed, so write and read failures degrade to cache misses
+// instead of surfacing. Keys are hex SHA-256 strings, so they are safe
+// filenames on every platform.
+type Cache struct {
+	mu       sync.Mutex
+	entries  int   // max resident entries (>0)
+	maxBytes int64 // max resident bytes (0 = unbounded)
+	bytes    int64
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+	dir      string // spill directory ("" = memory only)
+	rec      telemetry.Recorder
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache holding at most entries results and, when
+// maxBytes > 0, at most that many result bytes in memory. dir, when
+// non-empty, must be an existing directory; evicted entries spill there
+// and are read back on a memory miss. rec (nil ok) receives the
+// hit/miss/eviction/bytes counters declared in telemetry/names.go.
+func NewCache(entries int, maxBytes int64, dir string, rec telemetry.Recorder) *Cache {
+	if entries < 1 {
+		entries = 1
+	}
+	return &Cache{
+		entries:  entries,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		dir:      dir,
+		rec:      rec,
+	}
+}
+
+// Get returns a copy of the cached result for key. Memory is consulted
+// first, then the disk spill; a spill hit is promoted back into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		val := append([]byte(nil), el.Value.(*cacheEntry).val...)
+		c.mu.Unlock()
+		telemetry.Count(c.rec, telemetry.JobsCacheHits, 1)
+		return val, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if val, err := os.ReadFile(c.spillPath(key)); err == nil {
+			telemetry.Count(c.rec, telemetry.JobsCacheDiskHits, 1)
+			c.Put(key, val)
+			return val, true
+		}
+	}
+	telemetry.Count(c.rec, telemetry.JobsCacheMisses, 1)
+	return nil, false
+}
+
+// Put stores the result under key, evicting least-recently-used entries
+// (to disk, when a spill directory is configured) until the entry and
+// byte caps hold. Storing an existing key refreshes its recency.
+func (c *Cache) Put(key string, val []byte) {
+	val = append([]byte(nil), val...)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		telemetry.Count(c.rec, telemetry.JobsCacheBytes, int64(len(val))-int64(len(ent.val)))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+		telemetry.Count(c.rec, telemetry.JobsCacheBytes, int64(len(val)))
+	}
+	var spill []*cacheEntry
+	for c.ll.Len() > c.entries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.byKey, ent.key)
+		c.bytes -= int64(len(ent.val))
+		telemetry.Count(c.rec, telemetry.JobsCacheBytes, -int64(len(ent.val)))
+		telemetry.Count(c.rec, telemetry.JobsCacheEvictions, 1)
+		spill = append(spill, ent)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	for _, ent := range spill {
+		c.spillWrite(ent)
+	}
+	_ = dir
+}
+
+// spillWrite persists an evicted entry atomically: a concurrent Get must
+// see either no file or complete bytes, never a truncated write, so the
+// value lands under a unique temp name and is renamed into place.
+func (c *Cache) spillWrite(ent *cacheEntry) {
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ent.key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(ent.val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.spillPath(ent.key)); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// Len reports the number of resident (in-memory) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the resident result bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".result")
+}

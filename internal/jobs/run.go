@@ -1,0 +1,48 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+
+	"broadcastic/internal/sim"
+	"broadcastic/internal/telemetry"
+)
+
+// RunExperiment is the default Runner: it resolves the spec's experiment
+// in the sim registry, runs it with the spec's parameters, and returns
+// the rendered table — the same bytes cmd/experiments would print for the
+// same configuration, which is what makes cached and recomputed results
+// interchangeable.
+func RunExperiment(spec JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error) {
+	scale, err := spec.scale()
+	if err != nil {
+		return nil, err
+	}
+	var exp sim.Experiment
+	for _, e := range sim.Experiments() {
+		if e.ID == spec.Experiment {
+			exp = e
+			break
+		}
+	}
+	if exp.Run == nil {
+		return nil, fmt.Errorf("jobs: unknown experiment %q", spec.Experiment)
+	}
+	cfg := sim.Config{
+		Seed:     spec.Seed,
+		Scale:    scale,
+		Workers:  spec.Workers,
+		Recorder: rec,
+		Progress: progress,
+		Params:   sim.Params{Ns: spec.Ns, Ks: spec.Ks, Faults: spec.Faults},
+	}
+	tbl, err := exp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,357 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"broadcastic/internal/pool"
+	"broadcastic/internal/telemetry"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Queued and Running are transient; the rest are terminal.
+// A Canceled job whose run was already in flight finishes in the
+// background (the engines have no preemption points) and still populates
+// the cache — the computation is valid, the client just stopped wanting it.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// ErrQueueFull is the backpressure signal: the submitting tenant's queue
+// is at capacity. It is retryable — the HTTP layer maps it to 429 with a
+// Retry-After hint — and scoped per tenant, so one tenant saturating its
+// queue never blocks another's submissions.
+var ErrQueueFull = errors.New("jobs: tenant queue full, retry later")
+
+// ErrClosed reports a submission to a service that has been shut down.
+var ErrClosed = errors.New("jobs: service closed")
+
+// Runner executes one validated spec and returns the rendered result
+// bytes. rec and progress may be nil. Options.Run defaults to
+// RunExperiment; tests substitute slow or counting runners.
+type Runner func(spec JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the fleet size (0 = one per CPU, via pool.Workers).
+	// Each worker runs at most one job at a time; the jobs themselves
+	// parallelize their sweeps on the shared pool machinery.
+	Workers int
+	// QueueCap bounds each tenant's FIFO queue (0 = DefaultQueueCap).
+	QueueCap int
+	// Cache, when non-nil, serves and stores results content-addressed.
+	Cache *Cache
+	// BuildSHA keys the cache to a binary identity ("" = BuildSHA()).
+	BuildSHA string
+	// Recorder receives job counters and per-job spans (nil ok).
+	Recorder telemetry.Recorder
+	// Progress, when non-nil, builds the per-job progress hook handed to
+	// the runner — the daemon wires serve.Broker.ProgressFunc here so
+	// jobs stream on /runs without this package importing the HTTP layer.
+	Progress func(jobID, experiment string) func(done, total int)
+	// Run executes specs (nil = RunExperiment).
+	Run Runner
+}
+
+// DefaultQueueCap is the per-tenant queue bound when Options.QueueCap is 0.
+const DefaultQueueCap = 16
+
+// Job is the immutable snapshot of one submission, as returned by Submit,
+// Get, Cancel and List and rendered on the HTTP API.
+type Job struct {
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant"`
+	Spec     JobSpec `json:"spec"`
+	Key      string  `json:"key"`
+	State    State   `json:"state"`
+	CacheHit bool    `json:"cacheHit"`
+	// Result is the rendered experiment table (UTF-8 text), present once
+	// State is Done.
+	Result string `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Timestamps in Unix milliseconds; zero when not reached.
+	SubmittedMs int64 `json:"submittedMs"`
+	StartedMs   int64 `json:"startedMs,omitempty"`
+	FinishedMs  int64 `json:"finishedMs,omitempty"`
+}
+
+// job is the mutable record behind the mu lock.
+type job struct {
+	Job
+	cancelled bool // set by Cancel; a running job finishes but stays Canceled
+}
+
+// Service schedules jobs over per-tenant FIFO queues onto a bounded
+// worker fleet, with fair round-robin dispatch across tenants and a
+// content-addressed cache in front of the workers.
+type Service struct {
+	opts     Options
+	queueCap int
+	buildSHA string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string][]*job // tenant -> FIFO of queued jobs
+	ring    []string          // tenants in first-submit order
+	ringPos int               // next tenant to inspect, for round-robin
+	jobs    map[string]*job
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts a service and its worker fleet. Callers must Close it.
+func New(opts Options) *Service {
+	if opts.Run == nil {
+		opts.Run = RunExperiment
+	}
+	if opts.BuildSHA == "" {
+		opts.BuildSHA = BuildSHA()
+	}
+	cap := opts.QueueCap
+	if cap <= 0 {
+		cap = DefaultQueueCap
+	}
+	s := &Service{
+		opts:     opts,
+		queueCap: cap,
+		buildSHA: opts.BuildSHA,
+		queues:   make(map[string][]*job),
+		jobs:     make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < pool.Workers(opts.Workers); w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the fleet: workers finish their in-flight jobs and exit;
+// still-queued jobs are marked Canceled. Submit afterwards returns
+// ErrClosed. Close blocks until every worker has returned.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	now := nowMs()
+	for tenant, q := range s.queues {
+		for _, j := range q {
+			j.State = Canceled
+			j.FinishedMs = now
+			telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+		}
+		s.queues[tenant] = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit validates the spec, consults the cache, and either answers
+// immediately (cache hit: the job is born Done with CacheHit set and no
+// worker is dispatched) or enqueues on the tenant's FIFO. A full tenant
+// queue rejects with ErrQueueFull without touching other tenants.
+func (s *Service) Submit(tenant string, spec JobSpec) (Job, error) {
+	if tenant == "" {
+		return Job{}, fmt.Errorf("jobs: empty tenant")
+	}
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	key, err := spec.Key(s.buildSHA)
+	if err != nil {
+		return Job{}, err
+	}
+
+	var cached []byte
+	hit := false
+	if s.opts.Cache != nil {
+		cached, hit = s.opts.Cache.Get(key)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if !hit && len(s.queues[tenant]) >= s.queueCap {
+		s.mu.Unlock()
+		telemetry.Count(s.opts.Recorder, telemetry.JobsRejected, 1)
+		return Job{}, fmt.Errorf("%w (tenant %q, cap %d)", ErrQueueFull, tenant, s.queueCap)
+	}
+	s.nextID++
+	j := &job{Job: Job{
+		ID:          fmt.Sprintf("j%06d", s.nextID),
+		Tenant:      tenant,
+		Spec:        spec,
+		Key:         key,
+		SubmittedMs: nowMs(),
+	}}
+	s.jobs[j.ID] = j
+	if hit {
+		j.State = Done
+		j.CacheHit = true
+		j.Result = string(cached)
+		j.FinishedMs = j.SubmittedMs
+	} else {
+		j.State = Queued
+		if _, seen := s.queues[tenant]; !seen {
+			s.ring = append(s.ring, tenant)
+		}
+		s.queues[tenant] = append(s.queues[tenant], j)
+		s.cond.Signal()
+	}
+	view := j.Job
+	s.mu.Unlock()
+	telemetry.Count(s.opts.Recorder, telemetry.JobsSubmitted, 1)
+	return view, nil
+}
+
+// Get returns the job's current snapshot.
+func (s *Service) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// List returns every known job, in submission order.
+func (s *Service) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for i := 1; i <= s.nextID; i++ {
+		if j, ok := s.jobs[fmt.Sprintf("j%06d", i)]; ok {
+			out = append(out, j.Job)
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job leaves its queue immediately; a
+// running job is marked Canceled but its computation completes in the
+// background (and still feeds the cache). Terminal jobs are unchanged.
+func (s *Service) Cancel(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	switch j.State {
+	case Queued:
+		q := s.queues[j.Tenant]
+		for i, qj := range q {
+			if qj == j {
+				s.queues[j.Tenant] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		j.State = Canceled
+		j.cancelled = true
+		j.FinishedMs = nowMs()
+		telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+	case Running:
+		j.State = Canceled
+		j.cancelled = true
+		telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+	}
+	return j.Job, true
+}
+
+// QueueDepth reports the tenant's current queue length (tests, /metrics
+// consumers derive global depth from the counters instead).
+func (s *Service) QueueDepth(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[tenant])
+}
+
+// worker is one fleet goroutine: block for work, dispatch round-robin,
+// execute outside the lock, publish the outcome.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.popLocked(); j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		j.State = Running
+		j.StartedMs = nowMs()
+		id, spec := j.ID, j.Spec
+		s.mu.Unlock()
+
+		var progress func(done, total int)
+		if s.opts.Progress != nil {
+			progress = s.opts.Progress(id, spec.Experiment)
+		}
+		span := telemetry.StartSpan(s.opts.Recorder, telemetry.JobsJobNs)
+		result, err := s.opts.Run(spec, s.opts.Recorder, progress)
+		span.End()
+
+		if err == nil && s.opts.Cache != nil {
+			s.opts.Cache.Put(j.Key, result)
+		}
+		s.mu.Lock()
+		now := nowMs()
+		if j.cancelled {
+			// State stays Canceled; the result went to the cache above, so
+			// the computation is not wasted, but the client asked us not to
+			// report it.
+			j.FinishedMs = now
+		} else if err != nil {
+			j.State = Failed
+			j.Error = err.Error()
+			j.FinishedMs = now
+			telemetry.Count(s.opts.Recorder, telemetry.JobsFailed, 1)
+		} else {
+			j.State = Done
+			j.Result = string(result)
+			j.FinishedMs = now
+			telemetry.Count(s.opts.Recorder, telemetry.JobsCompleted, 1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// popLocked dequeues the next job fairly: scan tenants round-robin from
+// ringPos, take the head of the first non-empty queue, and remember where
+// to resume so one chatty tenant cannot starve the rest. Callers hold mu.
+func (s *Service) popLocked() *job {
+	for off := 0; off < len(s.ring); off++ {
+		i := (s.ringPos + off) % len(s.ring)
+		tenant := s.ring[i]
+		if q := s.queues[tenant]; len(q) > 0 {
+			s.queues[tenant] = q[1:]
+			s.ringPos = (i + 1) % len(s.ring)
+			return q[0]
+		}
+	}
+	return nil
+}
+
+func nowMs() int64 { return time.Now().UnixMilli() }

@@ -1,0 +1,351 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"broadcastic/internal/telemetry"
+)
+
+func waitTerminal(t *testing.T, s *Service, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch j.State {
+		case Done, Failed, Canceled:
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, _ := s.Get(id)
+	t.Fatalf("job %s stuck in state %s", id, j.State)
+	return Job{}
+}
+
+// TestDeterministicCacheHit is the tentpole acceptance pin: submitting the
+// same JobSpec twice returns byte-identical results, with the second
+// served from cache — hit counter incremented, no worker dispatched — and
+// the key includes the build SHA, so a binary change recomputes.
+func TestDeterministicCacheHit(t *testing.T) {
+	col := telemetry.NewCollector()
+	var runs atomic.Int64
+	counting := func(spec JobSpec, rec telemetry.Recorder, progress func(int, int)) ([]byte, error) {
+		runs.Add(1)
+		return RunExperiment(spec, rec, progress)
+	}
+	cache := NewCache(16, 0, "", col)
+	svc := New(Options{Workers: 1, Cache: cache, BuildSHA: "build-a", Recorder: col, Run: counting})
+	defer svc.Close()
+
+	spec := JobSpec{Experiment: "E10", Seed: 5, Scale: "quick"}
+	first, err := svc.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("cold submission reported a cache hit")
+	}
+	first = waitTerminal(t, svc, first.ID)
+	if first.State != Done || first.Result == "" {
+		t.Fatalf("first job = %+v", first)
+	}
+	// The service's result is the same bytes a direct run renders.
+	direct, err := RunExperiment(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(first.Result), direct) {
+		t.Errorf("service result diverges from direct run:\n%s---\n%s", first.Result, direct)
+	}
+
+	second, err := svc.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.State != Done {
+		t.Fatalf("second submission not served from cache: %+v", second)
+	}
+	if second.Result != first.Result {
+		t.Error("cached result is not byte-identical to the computed one")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1 (no worker dispatched on hit)", got)
+	}
+	if got := col.Counter(telemetry.JobsCacheHits); got != 1 {
+		t.Errorf("cache hit counter = %d, want 1", got)
+	}
+
+	// A different build identity misses the shared cache and recomputes —
+	// to the same bytes, because the spec pins the computation.
+	svcB := New(Options{Workers: 1, Cache: cache, BuildSHA: "build-b", Recorder: col, Run: counting})
+	defer svcB.Close()
+	third, err := svcB.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Fatal("new build SHA hit the old build's entry")
+	}
+	third = waitTerminal(t, svcB, third.ID)
+	if third.State != Done || third.Result != first.Result {
+		t.Fatalf("recomputed-under-new-build job = %+v", third)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("runner invoked %d times, want 2", got)
+	}
+}
+
+// blockingRunner parks every job until released, and records start order.
+type blockingRunner struct {
+	mu       sync.Mutex
+	started  []uint64 // spec seeds, in execution order
+	startCh  chan uint64
+	release  chan struct{}
+	releaser sync.Once
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{startCh: make(chan uint64, 64), release: make(chan struct{})}
+}
+
+// releaseAll unparks every current and future run; safe to call twice.
+// Tests must call it (usually deferred) before Service.Close, or a test
+// failure would leave workers parked and Close waiting on them forever.
+func (b *blockingRunner) releaseAll() {
+	b.releaser.Do(func() { close(b.release) })
+}
+
+func (b *blockingRunner) run(spec JobSpec, _ telemetry.Recorder, _ func(int, int)) ([]byte, error) {
+	b.mu.Lock()
+	b.started = append(b.started, spec.Seed)
+	b.mu.Unlock()
+	b.startCh <- spec.Seed
+	<-b.release
+	return []byte("result"), nil
+}
+
+func (b *blockingRunner) waitStart(t *testing.T) uint64 {
+	t.Helper()
+	select {
+	case seed := <-b.startCh:
+		return seed
+	case <-time.After(10 * time.Second):
+		t.Fatal("no job started")
+		return 0
+	}
+}
+
+// TestBackpressurePerTenant is the backpressure acceptance pin: with queue
+// cap Q and saturated workers, submission Q+1 for a tenant is rejected
+// with a retryable error while another tenant's submission still lands.
+func TestBackpressurePerTenant(t *testing.T) {
+	const capQ = 2
+	col := telemetry.NewCollector()
+	br := newBlockingRunner()
+	svc := New(Options{Workers: 1, QueueCap: capQ, Recorder: col, Run: br.run})
+	defer func() {
+		br.releaseAll()
+		svc.Close()
+	}()
+
+	// Seed 1 occupies the lone worker; the queue is empty again.
+	if _, err := svc.Submit("noisy", JobSpec{Experiment: "E10", Seed: 1, Scale: "quick"}); err != nil {
+		t.Fatal(err)
+	}
+	br.waitStart(t)
+	// Fill the tenant's queue to its cap.
+	for seed := uint64(2); seed < 2+capQ; seed++ {
+		if _, err := svc.Submit("noisy", JobSpec{Experiment: "E10", Seed: seed, Scale: "quick"}); err != nil {
+			t.Fatalf("submission below cap rejected: %v", err)
+		}
+	}
+	if got := svc.QueueDepth("noisy"); got != capQ {
+		t.Fatalf("queue depth = %d, want %d", got, capQ)
+	}
+	// Submission Q+1: rejected, retryable, typed.
+	_, err := svc.Submit("noisy", JobSpec{Experiment: "E10", Seed: 99, Scale: "quick"})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-cap submission error = %v, want ErrQueueFull", err)
+	}
+	if got := col.Counter(telemetry.JobsRejected); got != 1 {
+		t.Errorf("rejected counter = %d", got)
+	}
+	// Another tenant is unaffected by the noisy tenant's full queue.
+	if _, err := svc.Submit("quiet", JobSpec{Experiment: "E10", Seed: 50, Scale: "quick"}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+}
+
+// TestRoundRobinFairness pins the dispatch order: with tenant A holding a
+// deep queue, tenant B's first job runs before A's backlog drains.
+func TestRoundRobinFairness(t *testing.T) {
+	br := newBlockingRunner()
+	svc := New(Options{Workers: 1, QueueCap: 8, Run: br.run})
+	defer func() {
+		br.releaseAll()
+		svc.Close()
+	}()
+
+	first, err := svc.Submit("a", JobSpec{Experiment: "E10", Seed: 1, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.waitStart(t) // a/1 on the worker; now build the queues behind it
+	ids := []string{first.ID}
+	for seed := uint64(2); seed <= 4; seed++ {
+		j, err := svc.Submit("a", JobSpec{Experiment: "E10", Seed: seed, Scale: "quick"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	j, err := svc.Submit("b", JobSpec{Experiment: "E10", Seed: 100, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, j.ID)
+
+	br.releaseAll()
+	for _, id := range ids {
+		waitTerminal(t, svc, id)
+	}
+	br.mu.Lock()
+	order := append([]uint64(nil), br.started...)
+	br.mu.Unlock()
+	// When a/1 was popped the ring held only tenant a, so a's turn pointer
+	// still owes it one slot: a/2 runs, then strict alternation puts b/100
+	// ahead of the rest of a's backlog.
+	want := []uint64{1, 2, 100, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (tenant b starved)", order, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	col := telemetry.NewCollector()
+	br := newBlockingRunner()
+	svc := New(Options{Workers: 1, QueueCap: 8, Recorder: col, Run: br.run})
+	defer func() {
+		br.releaseAll()
+		svc.Close()
+	}()
+
+	running, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 1, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.waitStart(t)
+	queued, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 2, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued job cancels out of the queue entirely.
+	j, ok := svc.Cancel(queued.ID)
+	if !ok || j.State != Canceled {
+		t.Fatalf("cancel queued = %+v, %v", j, ok)
+	}
+	if got := svc.QueueDepth("t"); got != 0 {
+		t.Errorf("queue depth after cancel = %d", got)
+	}
+	// A running job is marked canceled; its run completes in background.
+	j, ok = svc.Cancel(running.ID)
+	if !ok || j.State != Canceled {
+		t.Fatalf("cancel running = %+v, %v", j, ok)
+	}
+	br.releaseAll()
+	j = waitTerminal(t, svc, running.ID)
+	if j.State != Canceled || j.Result != "" {
+		t.Errorf("canceled running job finished as %+v", j)
+	}
+	if _, ok := svc.Cancel("j999999"); ok {
+		t.Error("cancel of unknown job reported ok")
+	}
+	if got := col.Counter(telemetry.JobsCanceled); got != 2 {
+		t.Errorf("canceled counter = %d", got)
+	}
+	// The queued job never ran.
+	br.mu.Lock()
+	ran := len(br.started)
+	br.mu.Unlock()
+	if ran != 1 {
+		t.Errorf("%d jobs ran, want 1 (canceled queued job executed)", ran)
+	}
+}
+
+func TestCloseCancelsQueuedAndRejects(t *testing.T) {
+	br := newBlockingRunner()
+	svc := New(Options{Workers: 1, QueueCap: 8, Run: br.run})
+	defer br.releaseAll()
+	if _, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 1, Scale: "quick"}); err != nil {
+		t.Fatal(err)
+	}
+	br.waitStart(t)
+	queued, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 2, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Close mark the queue
+	br.releaseAll()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	if j, _ := svc.Get(queued.ID); j.State != Canceled {
+		t.Errorf("queued job after Close = %+v", j)
+	}
+	if _, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 3, Scale: "quick"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v", err)
+	}
+}
+
+func TestSubmitValidatesAndRequiresTenant(t *testing.T) {
+	svc := New(Options{Workers: 1, Run: func(JobSpec, telemetry.Recorder, func(int, int)) ([]byte, error) {
+		return nil, nil
+	}})
+	defer svc.Close()
+	if _, err := svc.Submit("", JobSpec{Experiment: "E10", Scale: "quick"}); err == nil {
+		t.Error("empty tenant accepted")
+	}
+	if _, err := svc.Submit("t", JobSpec{Experiment: "E99", Scale: "quick"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	col := telemetry.NewCollector()
+	svc := New(Options{Workers: 1, Recorder: col, Run: func(JobSpec, telemetry.Recorder, func(int, int)) ([]byte, error) {
+		return nil, errors.New("boom")
+	}})
+	defer svc.Close()
+	j, err := svc.Submit("t", JobSpec{Experiment: "E10", Seed: 1, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = waitTerminal(t, svc, j.ID)
+	if j.State != Failed || j.Error != "boom" {
+		t.Errorf("failed job = %+v", j)
+	}
+	if got := col.Counter(telemetry.JobsFailed); got != 1 {
+		t.Errorf("failed counter = %d", got)
+	}
+}

@@ -68,21 +68,31 @@ type Broker struct {
 	latest map[string]RunProgress
 	order  []string // keys in first-publish order, for stable snapshots
 	subs   map[chan RunProgress]struct{}
+	rec    telemetry.Recorder // counts dropped updates (nil ok)
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
+	return NewBrokerRecorded(nil)
+}
+
+// NewBrokerRecorded returns an empty broker that counts updates dropped
+// under subscriber backpressure on rec as serve.runs.dropped_updates.
+func NewBrokerRecorded(rec telemetry.Recorder) *Broker {
 	return &Broker{
 		latest: make(map[string]RunProgress),
 		subs:   make(map[chan RunProgress]struct{}),
+		rec:    rec,
 	}
 }
 
 // Publish records p as its run's latest state and forwards it to every
 // subscriber. Slow subscribers lose intermediate updates rather than
 // blocking the publisher: each update carries full state, so the next one
-// heals the gap.
+// heals the gap. Every such drop increments serve.runs.dropped_updates on
+// the broker's recorder, making stream loss observable on /metrics.
 func (b *Broker) Publish(p RunProgress) {
+	dropped := int64(0)
 	b.mu.Lock()
 	key := p.key()
 	if _, seen := b.latest[key]; !seen {
@@ -93,9 +103,13 @@ func (b *Broker) Publish(p RunProgress) {
 		select {
 		case ch <- p:
 		default:
+			dropped++
 		}
 	}
 	b.mu.Unlock()
+	if dropped > 0 {
+		telemetry.Count(b.rec, telemetry.ServeRunsDroppedUpdates, dropped)
+	}
 }
 
 // Snapshot returns the latest state of every run, in first-publish order.
@@ -280,9 +294,10 @@ func serveRuns(w http.ResponseWriter, r *http.Request, broker *Broker) {
 
 // Server runs the observability mux on a TCP listener.
 type Server struct {
-	http *http.Server
-	ln   net.Listener
-	done chan error
+	http   *http.Server
+	ln     net.Listener
+	done   chan error
+	cancel context.CancelFunc // ends the base context, unblocking streams
 }
 
 // Start listens on addr (e.g. "127.0.0.1:8344"; ":0" picks a free port)
@@ -292,10 +307,19 @@ func Start(addr string, mux http.Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
+	// Request contexts derive from this base context, so canceling it at
+	// shutdown ends long-lived /runs?follow=1 streams that would otherwise
+	// hold http.Server.Shutdown hostage until the client hung up.
+	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		http: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
-		ln:   ln,
-		done: make(chan error, 1),
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		},
+		ln:     ln,
+		done:   make(chan error, 1),
+		cancel: cancel,
 	}
 	go func() {
 		err := s.http.Serve(ln)
@@ -310,10 +334,16 @@ func Start(addr string, mux http.Handler) (*Server, error) {
 // Addr returns the listener's bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Shutdown stops accepting connections, waits for in-flight requests up
-// to ctx's deadline, and returns the serve loop's error, if any.
+// Shutdown stops accepting connections, signals in-flight streams to end
+// via their request contexts, waits for handlers up to ctx's deadline
+// (force-closing connections if it expires), and returns the serve loop's
+// error, if any.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
 	if err := s.http.Shutdown(ctx); err != nil {
+		// Deadline hit with handlers still running: sever their
+		// connections rather than leaking them.
+		_ = s.http.Close()
 		return err
 	}
 	return <-s.done

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -143,6 +144,37 @@ func TestBrokerSlowSubscriberDoesNotBlock(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("publisher blocked on a slow subscriber")
+	}
+}
+
+func TestBrokerDroppedUpdatesCounter(t *testing.T) {
+	col := telemetry.NewCollector()
+	b := NewBrokerRecorded(col)
+	ch, cancel := b.Subscribe() // buffered at 64, never drained
+	defer cancel()
+	const total = 100
+	for i := 0; i < total; i++ {
+		b.Publish(RunProgress{RunID: "r", Experiment: "E1", CellsDone: i})
+	}
+	want := int64(total - cap(ch))
+	if got := col.Counter(telemetry.ServeRunsDroppedUpdates); got != want {
+		t.Errorf("dropped_updates = %d, want %d", got, want)
+	}
+	// A drained subscriber drops nothing further.
+	for range cap(ch) {
+		<-ch
+	}
+	before := col.Counter(telemetry.ServeRunsDroppedUpdates)
+	b.Publish(RunProgress{RunID: "r", Experiment: "E1", CellsDone: total})
+	if got := col.Counter(telemetry.ServeRunsDroppedUpdates); got != before {
+		t.Errorf("drained subscriber still dropped: %d -> %d", before, got)
+	}
+	// The unrecorded constructor must stay nil-safe.
+	b2 := NewBroker()
+	_, cancel2 := b2.Subscribe()
+	defer cancel2()
+	for i := 0; i < total; i++ {
+		b2.Publish(RunProgress{RunID: "r", Experiment: "E1", CellsDone: i})
 	}
 }
 
@@ -292,6 +324,58 @@ func TestServerStartShutdown(t *testing.T) {
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
+}
+
+// TestShutdownEndsFollowStream pins graceful shutdown with a live
+// /runs?follow=1 subscriber mid-stream: Shutdown must end the stream and
+// return promptly (the handler's request context derives from the
+// server's base context), leaving no serveRuns goroutine behind.
+func TestShutdownEndsFollowStream(t *testing.T) {
+	broker := NewBroker()
+	broker.Publish(RunProgress{RunID: "r1", Experiment: "E1", CellsDone: 1, CellsTotal: 3})
+	srv, err := Start("127.0.0.1:0", NewMux(nil, broker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	client := &http.Client{Transport: &http.Transport{}}
+	resp, err := client.Get("http://" + srv.Addr() + "/runs?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() { // snapshot line: the stream is live
+		t.Fatalf("no snapshot line: %v", sc.Err())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with live stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("shutdown took %v; the stream held it hostage", elapsed)
+	}
+	// The client's stream ends rather than hanging.
+	for sc.Scan() {
+	}
+	client.CloseIdleConnections()
+
+	// No leaked handler goroutine: the count settles back to the
+	// pre-connection baseline (with slack for runtime/test goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines: %d, baseline %d; stacks:\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
 }
 
 // TestObservedExperimentEndToEnd is the acceptance pin for the tentpole

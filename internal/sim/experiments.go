@@ -67,6 +67,9 @@ type Config struct {
 	// bit-identical either way, so the knob exists for benchmarking and
 	// for the experiments binary's -batch flag, never for correctness.
 	DisableBatching bool
+	// Params optionally overrides the experiment's sweep grid (see
+	// params.go); the zero value runs the EXPERIMENTS.md defaults.
+	Params Params
 }
 
 func (c Config) scaleOK() error {
@@ -90,6 +93,7 @@ func E1DisjScalingN(cfg Config) (*Table, error) {
 		ns = []int{256, 1024}
 		trials = 2
 	}
+	ns = cfg.nsGrid(ns)
 	t := &Table{
 		ID:     "E1",
 		Title:  fmt.Sprintf("Optimal DISJ protocol, bits vs n (k=%d, disjoint inputs ~ mu^n)", k),
@@ -142,6 +146,7 @@ func E2DisjScalingK(cfg Config) (*Table, error) {
 		n = 1024
 		trials = 2
 	}
+	ks = cfg.ksGrid(ks)
 	t := &Table{
 		ID:     "E2",
 		Title:  fmt.Sprintf("Optimal DISJ protocol, bits vs k (n=%d)", n),
@@ -1474,14 +1479,16 @@ func E20NetworkedOverhead(cfg Config) (*Table, error) {
 	if cfg.Scale == Quick {
 		n, k, trials = 256, 6, 2
 	}
-	mixes := []string{
+	n = firstOr(cfg.Params.Ns, n)
+	k = firstOr(cfg.Params.Ks, k)
+	mixes := cfg.faultMixes([]string{
 		"none",
 		"drop=0.04",
 		"drop=0.12",
 		"dup=0.1",
 		"corrupt=0.04",
 		"drop=0.05,dup=0.05,corrupt=0.02",
-	}
+	})
 
 	// One shared instance and fault-free reference transcript, generated
 	// serially so every sweep cell (at any worker count) sees the same run.

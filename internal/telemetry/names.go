@@ -40,4 +40,23 @@ const (
 	CoreCICShards      = "core.cic.shards"       // counter: estimator shards evaluated
 	CoreCICShardNs     = "core.cic.shard_ns"     // histogram: wall time per shard
 	CoreCICLaneSamples = "core.cic.lane_samples" // counter: samples served by the 64-lane engine
+
+	// Live observability plane (internal/serve).
+	ServeRunsDroppedUpdates = "serve.runs.dropped_updates" // counter: /runs updates dropped on full subscriber channels
+
+	// Job service (internal/jobs). Queue depth is observable as
+	// submitted - rejected - completed - failed - canceled-while-queued;
+	// the cache bytes counter moves both ways (insert +, evict −), so
+	// exporters should read it as a gauge.
+	JobsSubmitted      = "jobs.submitted"       // counter: specs accepted (cache hits included)
+	JobsRejected       = "jobs.rejected"        // counter: submissions refused by queue-cap backpressure
+	JobsCompleted      = "jobs.completed"       // counter: jobs finished successfully by a worker
+	JobsFailed         = "jobs.failed"          // counter: jobs whose run returned an error
+	JobsCanceled       = "jobs.canceled"        // counter: jobs canceled by the client
+	JobsJobNs          = "jobs.job_ns"          // histogram: wall time per executed job
+	JobsCacheHits      = "jobs.cache.hits"      // counter: results served from the in-memory cache
+	JobsCacheDiskHits  = "jobs.cache.disk_hits" // counter: results recovered from the disk spill
+	JobsCacheMisses    = "jobs.cache.misses"    // counter: lookups that found nothing anywhere
+	JobsCacheEvictions = "jobs.cache.evictions" // counter: entries pushed out of memory by the LRU
+	JobsCacheBytes     = "jobs.cache.bytes"     // gauge: result bytes resident in memory
 )
