@@ -183,6 +183,8 @@ func BenchmarkE19_WirelessContention(b *testing.B) { runExperiment(b, sim.E19Wir
 
 func BenchmarkE20_NetworkedOverhead(b *testing.B) { runExperiment(b, sim.E20NetworkedOverhead) }
 
+func BenchmarkE21_TopologySeparation(b *testing.B) { runExperiment(b, sim.E21TopologySeparation) }
+
 // --- Hot-path micro-benchmarks -------------------------------------------
 //
 // The engine-level counterparts of the experiment benchmarks above: they

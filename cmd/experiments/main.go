@@ -1,4 +1,4 @@
-// Command experiments runs the complete reproduction suite (E1–E20 from
+// Command experiments runs the complete reproduction suite (E1–E21 from
 // EXPERIMENTS.md) and prints one table per experiment.
 //
 // Usage:

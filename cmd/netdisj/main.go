@@ -7,9 +7,17 @@
 // Usage:
 //
 //	netdisj [-n 1024] [-k 6] [-kind mun|disjoint|intersecting]
-//	        [-transport chan|pipe|tcp] [-faults "drop=0.05,corrupt=0.02"]
+//	        [-transport chan|pipe|tcp] [-topology board|star|ring|mesh]
+//	        [-model broadcast|coordinator]
+//	        [-faults "drop=0.05,corrupt=0.02"]
 //	        [-seed 1] [-timeout 250ms] [-retries 12] [-trials 2]
 //	        [-serve addr] [-runtrace dir] [-log level] [-version]
+//
+// With -topology, the run routes every frame over the chosen explicit
+// link graph (internal/netrun Topology) and reports per-link wire
+// accounting; -model coordinator switches to the message-passing protocol
+// of the coordinator model (players ship bitmaps to a hub, Θ(n·k) bits),
+// which requires an explicit topology.
 //
 // With -serve, the observability plane (/metrics, /healthz, /runs,
 // /debug/pprof) is up for the duration of the run; with -runtrace, each
@@ -51,6 +59,8 @@ func run(args []string) error {
 	k := fs.Int("k", 6, "number of players")
 	kind := fs.String("kind", "mun", "instance kind: mun (hard distribution), disjoint, intersecting")
 	transport := fs.String("transport", "chan", "transport: chan, pipe or tcp")
+	topology := fs.String("topology", "board", "topology: board (legacy shared-board wiring), star, ring or mesh")
+	model := fs.String("model", "broadcast", "delivery model: broadcast (replicas synced) or coordinator (message-passing)")
 	faultSpec := fs.String("faults", "", `fault mix, e.g. "drop=0.05,dup=0.05,corrupt=0.02,delay=0.2:1ms" (empty: none)`)
 	seed := fs.Uint64("seed", 1, "random seed (instances and fault streams)")
 	timeout := fs.Duration("timeout", 250*time.Millisecond, "base per-attempt ARQ timeout")
@@ -84,16 +94,22 @@ func run(args []string) error {
 		}
 	}()
 
-	var tr netrun.Transport
-	switch *transport {
-	case "chan":
-		tr = netrun.NewChanTransport()
-	case "pipe":
-		tr = netrun.NewPipeTransport()
-	case "tcp":
-		tr = netrun.NewTCPTransport()
-	default:
-		return fmt.Errorf("unknown transport %q", *transport)
+	// Construction goes through the same parse helpers the conformance
+	// tests use, so flag spellings cannot drift from the tested wiring.
+	tr, err := netrun.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	topo, err := netrun.ParseTopology(*topology)
+	if err != nil {
+		return err
+	}
+	delivery, err := netrun.ParseDelivery(*model)
+	if err != nil {
+		return err
+	}
+	if delivery == netrun.DeliverCoordinator && topo == nil {
+		return fmt.Errorf("-model coordinator requires an explicit -topology (star, ring or mesh)")
 	}
 	plan, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -130,8 +146,8 @@ func run(args []string) error {
 	}
 
 	src := rng.New(*seed)
-	fmt.Printf("DISJ_{n=%d, k=%d} on netrun: kind=%s, transport=%s, faults=%q, trials=%d\n\n",
-		*n, *k, *kind, *transport, *faultSpec, *trials)
+	fmt.Printf("DISJ_{n=%d, k=%d} on netrun: kind=%s, transport=%s, topology=%s, model=%s, faults=%q, trials=%d\n\n",
+		*n, *k, *kind, *transport, *topology, delivery, *faultSpec, *trials)
 	for t := 0; t < *trials; t++ {
 		var inst *disj.Instance
 		switch *kind {
@@ -153,7 +169,7 @@ func run(args []string) error {
 		}
 
 		// Sequential reference run on the same instance.
-		refProto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+		refProto, err := newProtocol(delivery, inst)
 		if err != nil {
 			return err
 		}
@@ -167,7 +183,7 @@ func run(args []string) error {
 		}
 
 		// Networked run; protocols are single-use, so build a fresh one.
-		proto, err := disj.NewOptimalProtocol(inst, disj.Options{})
+		proto, err := newProtocol(delivery, inst)
 		if err != nil {
 			return err
 		}
@@ -183,6 +199,8 @@ func run(args []string) error {
 		}
 		res, err := netrun.Run(proto.Scheduler(), proto.Players(), nil, netrun.Config{
 			Transport:  tr,
+			Topology:   topo,
+			Delivery:   delivery,
 			Faults:     plan,
 			Seed:       src.Uint64(),
 			Timeout:    *timeout,
@@ -230,8 +248,30 @@ func run(args []string) error {
 		fmt.Printf("  wire:  %8d bits  (%.3f × board)  retries=%d\n",
 			res.Stats.WireBits, float64(res.Stats.WireBits)/float64(res.Stats.BoardBits), totalRetries(res.Stats))
 		fmt.Printf("  faults injected: drop=%d dup=%d corrupt=%d delay=%d\n", c.Drops, c.Duplicates, c.Corruptions, c.Delays)
+		for _, ls := range res.Stats.PerLink {
+			fmt.Printf("  link %d-%d: %8d bits  retries=%d\n", ls.Link.A, ls.Link.B, ls.WireBits, ls.Retries)
+		}
 	}
 	return nil
+}
+
+// protocol is the shape both DISJ adapters share; which one runs is the
+// delivery model's choice.
+type protocol interface {
+	Scheduler() blackboard.Scheduler
+	Players() []blackboard.Player
+	Limits() blackboard.Limits
+	Outcome(*blackboard.Board) (*disj.Outcome, error)
+}
+
+// newProtocol picks the protocol matching the delivery model: the Section 5
+// broadcast protocol reads the shared board, the coordinator-model protocol
+// ships bitmaps to the hub and never reads it.
+func newProtocol(delivery netrun.DeliveryMode, inst *disj.Instance) (protocol, error) {
+	if delivery == netrun.DeliverCoordinator {
+		return disj.NewCoordinatorProtocol(inst, disj.CoordinatorOptions{})
+	}
+	return disj.NewOptimalProtocol(inst, disj.Options{})
 }
 
 func writeTrace(path string, sink *tracelog.Sink) error {
@@ -248,6 +288,13 @@ func writeTrace(path string, sink *tracelog.Sink) error {
 
 func totalRetries(s netrun.Stats) int64 {
 	var total int64
+	if len(s.PerLink) > 0 {
+		// Topology runs account per physical link, not per player.
+		for _, ls := range s.PerLink {
+			total += ls.Retries
+		}
+		return total
+	}
 	for _, ps := range s.PerPlayer {
 		total += ps.Retries
 	}

@@ -23,3 +23,27 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatal("invalid fault probability accepted")
 	}
 }
+
+func TestRunTopologySmoke(t *testing.T) {
+	for _, topo := range []string{"star", "ring", "mesh"} {
+		if err := run([]string{"-n", "64", "-k", "3", "-topology", topo, "-trials", "1"}); err != nil {
+			t.Fatalf("topology %s: %v", topo, err)
+		}
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-topology", "star", "-model", "coordinator", "-trials", "1"}); err != nil {
+		t.Fatalf("coordinator model: %v", err)
+	}
+	if err := run([]string{"-n", "64", "-k", "3", "-topology", "ring",
+		"-faults", "drop=0.05,corrupt=0.02", "-timeout", "50ms", "-trials", "1"}); err != nil {
+		t.Fatalf("ring with faults: %v", err)
+	}
+	if err := run([]string{"-topology", "bogus"}); err == nil {
+		t.Fatal("bogus topology accepted")
+	}
+	if err := run([]string{"-model", "bogus"}); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+	if err := run([]string{"-model", "coordinator"}); err == nil {
+		t.Fatal("coordinator model without a topology accepted")
+	}
+}

@@ -46,7 +46,7 @@ const (
 // JobSpec is one parameterized run request. The zero values of the
 // optional fields mean "the experiment's EXPERIMENTS.md defaults".
 type JobSpec struct {
-	// Experiment is a sim registry ID ("E1".."E20").
+	// Experiment is a sim registry ID ("E1".."E21").
 	Experiment string `json:"experiment"`
 	// Seed roots every random stream of the run; it is the only source of
 	// nondeterminism, so (spec, binary) fully determines the result.

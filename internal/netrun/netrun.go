@@ -62,6 +62,19 @@ import (
 type Config struct {
 	// Transport supplies the coordinator-player links (default: chan).
 	Transport Transport
+	// Topology, when non-nil, runs the protocol on the explicit
+	// message-passing topology runtime (toporun.go): nodes exchange routed
+	// frames over the topology's physical links, relays store-and-forward
+	// hop by hop, and per-link accounting lands under netrun.topo.<link>.*.
+	// nil selects the legacy shared-board runtime, whose behavior, stats
+	// and netrun.link.<player>.* metrics are unchanged.
+	Topology Topology
+	// Delivery selects how delivered messages propagate on the topology
+	// path (ignored when Topology is nil): DeliverBroadcast mirrors every
+	// message to every replica (blackboard semantics), DeliverCoordinator
+	// keeps them at the hub (message-passing semantics — players never see
+	// each other's messages, as in the coordinator model lower bounds).
+	Delivery DeliveryMode
 	// Faults is the seeded failure mix (zero value: none).
 	Faults faults.Plan
 	// Seed feeds the per-link fault streams; runs with equal seeds and
@@ -106,7 +119,16 @@ type PlayerStats struct {
 
 // Stats aggregates a run's telemetry.
 type Stats struct {
+	// PerPlayer breaks the wire traffic down by player. On the legacy
+	// shared-board path every player owns exactly one link, so the wire
+	// fields double as per-link accounting; on the topology path links are
+	// not player-owned (PerLink carries the wire view) and PerPlayer holds
+	// the coordinator-side Turns and Latency only.
 	PerPlayer []PlayerStats
+	// PerLink breaks the wire traffic down by physical link on the
+	// topology path (nil on the legacy path). The per-link WireBits sum to
+	// Stats.WireBits exactly.
+	PerLink []LinkStats
 	// WireBits is the total bits placed on all links (headers, acks,
 	// retransmissions and dropped frames included).
 	WireBits int64
@@ -117,6 +139,28 @@ type Stats struct {
 	Faults faults.Counts
 	// Transport names the transport used.
 	Transport string
+	// Topology names the topology on the topology path ("" on the legacy
+	// shared-board path).
+	Topology string
+}
+
+// LinkStats is the wire accounting of one physical link on the topology
+// path, both directions summed — the same contract as PlayerStats on the
+// legacy path, keyed by link instead of player.
+type LinkStats struct {
+	// Link names the physical link by the node pair it joins.
+	Link LinkID
+	// WireBits counts every bit put on (or dropped onto) the link, both
+	// directions, including headers, envelopes, acks and retransmissions.
+	WireBits int64
+	// Retries is the retransmission count across both directions.
+	Retries int64
+	// BadFrames counts frames discarded for checksum or layout failure.
+	BadFrames int64
+	// DupFrames counts duplicate frames discarded by sequence check.
+	DupFrames int64
+	// Faults tallies injected faults on both directions.
+	Faults faults.Counts
 }
 
 // Result is the outcome of a networked run. After a crash, Board holds
@@ -173,6 +217,12 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 			return nil, fmt.Errorf("netrun: crash scheduled for player %d but run has %d players", player, k)
 		}
 	}
+	if cfg.Topology != nil {
+		return runTopology(sched, players, public, cfg)
+	}
+	if cfg.Delivery != DeliverBroadcast {
+		return nil, fmt.Errorf("netrun: delivery mode %v requires a topology", cfg.Delivery)
+	}
 	transport := cfg.Transport
 	if transport == nil {
 		transport = NewChanTransport()
@@ -221,8 +271,8 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 	coordEps := make([]*endpoint, k)
 	playerEps := make([]*endpoint, k)
 	for i := 0; i < k; i++ {
-		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, cfg.Recorder, i)
-		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, cfg.Recorder, i)
+		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, cfg.Recorder, telemetry.NetrunLink, i)
+		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, cfg.Recorder, telemetry.NetrunLink, i)
 	}
 	closeAll := func() {
 		for i := 0; i < k; i++ {

@@ -17,12 +17,13 @@ import (
 // Frame kinds. A frame is the unit the delivery layer retransmits; the
 // coordinator and players exchange exactly one kind per protocol event.
 const (
-	frameSync byte = iota + 1 // coordinator -> player: board append to mirror
-	frameTurn                 // coordinator -> player: your turn to speak
-	frameMsg                  // player -> coordinator: the spoken message
-	frameErr                  // player -> coordinator: player-side failure
-	frameAck                  // either direction: delivery acknowledgement
-	frameNack                 // either direction: corrupted frame received, retransmit now
+	frameSync   byte = iota + 1 // coordinator -> player: board append to mirror
+	frameTurn                   // coordinator -> player: your turn to speak
+	frameMsg                    // player -> coordinator: the spoken message
+	frameErr                    // player -> coordinator: player-side failure
+	frameAck                    // either direction: delivery acknowledgement
+	frameNack                   // either direction: corrupted frame received, retransmit now
+	frameRouted                 // topology runtime: envelope carrying [src][dst][inner kind][inner payload]
 )
 
 // packFrame lays out [kind 1B][seq 4B BE][crc32 4B BE][payload]. The
@@ -57,7 +58,7 @@ func parseFrame(f []byte) (kind byte, seq uint32, payload []byte, ok bool) {
 		return 0, 0, nil, false
 	}
 	kind = f[0]
-	if kind < frameSync || kind > frameNack {
+	if kind < frameSync || kind > frameRouted {
 		return 0, 0, nil, false
 	}
 	return kind, binary.BigEndian.Uint32(f[1:5]), f[9:], true
@@ -92,6 +93,56 @@ func decodeMessagePayload(payload []byte) (blackboard.Message, error) {
 	bits := make([]byte, want)
 	copy(bits, payload)
 	return blackboard.Message{Player: int(player), Bits: bits, Len: int(bitLen)}, nil
+}
+
+// encodeRoutedPayload wraps an application frame in a routing envelope:
+// [src 1B][dst 1B][inner kind 1B][inner payload]. The topology runtime
+// carries every application frame inside a frameRouted envelope so relay
+// nodes can forward hop by hop without understanding the inner kind; the
+// three envelope bytes are charged to the wire like any other header.
+func encodeRoutedPayload(src, dst int, kind byte, payload []byte) []byte {
+	buf := make([]byte, 3+len(payload))
+	buf[0] = byte(src)
+	buf[1] = byte(dst)
+	buf[2] = kind
+	copy(buf[3:], payload)
+	return buf
+}
+
+// decodeRoutedPayload inverts encodeRoutedPayload. Only protocol-event
+// kinds may travel inside an envelope: acks, nacks and nested envelopes
+// are delivery-layer artifacts of a single hop.
+func decodeRoutedPayload(p []byte) (src, dst int, kind byte, payload []byte, err error) {
+	if len(p) < 3 {
+		return 0, 0, 0, nil, errors.New("netrun: routed payload shorter than envelope")
+	}
+	kind = p[2]
+	if kind < frameSync || kind > frameErr {
+		return 0, 0, 0, nil, fmt.Errorf("netrun: routed envelope carries invalid inner kind %d", kind)
+	}
+	return int(p[0]), int(p[1]), kind, p[3:], nil
+}
+
+// encodeIndexedSync prefixes a sync payload with the board index of the
+// message it carries. Topologies where syncs from different origins race
+// (mesh gossip) need the index to restore board order at the replica; the
+// star and ring paths carry it too so every topology shares one codec.
+func encodeIndexedSync(index int, m blackboard.Message) []byte {
+	buf := binary.AppendUvarint(nil, uint64(index))
+	return append(buf, encodeMessagePayload(m)...)
+}
+
+// decodeIndexedSync inverts encodeIndexedSync.
+func decodeIndexedSync(payload []byte) (int, blackboard.Message, error) {
+	idx, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, blackboard.Message{}, errors.New("netrun: sync payload missing board index")
+	}
+	msg, err := decodeMessagePayload(payload[n:])
+	if err != nil {
+		return 0, blackboard.Message{}, err
+	}
+	return int(idx), msg, nil
 }
 
 // encodeTurnPayload carries the board's message count at the moment of the
@@ -196,7 +247,12 @@ type linkMetricNames struct {
 	fault                                          [faults.NumKinds]string
 }
 
-func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, rec telemetry.Recorder, link int) *endpoint {
+// newEndpoint builds the ARQ layer over one raw link. prefix selects the
+// per-link metric family — telemetry.NetrunLink on the legacy shared-board
+// path (indexed by player), telemetry.NetrunTopo on the topology path
+// (indexed by physical link) — so the two runtimes' wire accounting stays
+// distinguishable on /metrics.
+func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, rec telemetry.Recorder, prefix string, link int) *endpoint {
 	ep := &endpoint{
 		raw:        raw,
 		inj:        inj,
@@ -210,14 +266,14 @@ func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetri
 	}
 	if rec != nil {
 		ep.names = linkMetricNames{
-			wireBits:  telemetry.Indexed(telemetry.NetrunLink, link, "wire_bits"),
-			retries:   telemetry.Indexed(telemetry.NetrunLink, link, "retries"),
-			badFrames: telemetry.Indexed(telemetry.NetrunLink, link, "bad_frames"),
-			dupFrames: telemetry.Indexed(telemetry.NetrunLink, link, "dup_frames"),
-			ackNs:     telemetry.Indexed(telemetry.NetrunLink, link, "ack_ns"),
+			wireBits:  telemetry.Indexed(prefix, link, "wire_bits"),
+			retries:   telemetry.Indexed(prefix, link, "retries"),
+			badFrames: telemetry.Indexed(prefix, link, "bad_frames"),
+			dupFrames: telemetry.Indexed(prefix, link, "dup_frames"),
+			ackNs:     telemetry.Indexed(prefix, link, "ack_ns"),
 		}
 		for k := 0; k < faults.NumKinds; k++ {
-			ep.names.fault[k] = telemetry.Indexed(telemetry.NetrunLink, link, "faults."+faults.Kind(k).String())
+			ep.names.fault[k] = telemetry.Indexed(prefix, link, "faults."+faults.Kind(k).String())
 		}
 	}
 	go ep.readLoop()

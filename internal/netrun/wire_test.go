@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"broadcastic/internal/blackboard"
+	"broadcastic/internal/telemetry"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -94,8 +95,8 @@ func newEndpointPair(t *testing.T, wrapA func(Link) Link, timeout time.Duration,
 	if wrapA != nil {
 		rawA = wrapA(rawA)
 	}
-	a := newEndpoint(rawA, nil, timeout, maxRetries, nil, 0)
-	b := newEndpoint(players[0], nil, timeout, maxRetries, nil, 0)
+	a := newEndpoint(rawA, nil, timeout, maxRetries, nil, telemetry.NetrunLink, 0)
+	b := newEndpoint(players[0], nil, timeout, maxRetries, nil, telemetry.NetrunLink, 0)
 	t.Cleanup(func() { a.close(); b.close() })
 	return a, b
 }

@@ -1577,6 +1577,110 @@ func E20NetworkedOverhead(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// E21TopologySeparation charts the broadcast-vs-message-passing separation
+// the paper's model comparison is about: on the shared blackboard the
+// Section 5 protocol solves DISJ in Θ(n·log k + k) bits, while in the
+// coordinator model — players wired to a hub, no board — the BEOPV lower
+// bound makes Θ(n·k) unavoidable and the bitmap protocol meets it exactly.
+// Both sides run on the same instances over a sweep of (n, k): the
+// broadcast side on the sequential blackboard runtime, the coordinator side
+// on the networked runtime over an explicit star topology with
+// message-passing delivery (no SYNC traffic, replicas empty), so the run
+// also exercises per-link wire accounting — the experiment checks that the
+// netrun.topo link counters sum to the run totals before reporting.
+func E21TopologySeparation(cfg Config) (*Table, error) {
+	if err := cfg.scaleOK(); err != nil {
+		return nil, err
+	}
+	ns, ks, trials := []int{512, 2048}, []int{4, 8, 16}, 3
+	if cfg.Scale == Quick {
+		ns, ks, trials = []int{256}, []int{4, 8}, 2
+	}
+	ns = cfg.nsGrid(ns)
+	ks = cfg.ksGrid(ks)
+	type gridCell struct{ n, k int }
+	var cells []gridCell
+	for _, n := range ns {
+		for _, k := range ks {
+			cells = append(cells, gridCell{n, k})
+		}
+	}
+	t := &Table{
+		ID:    "E21",
+		Title: "Broadcast model vs coordinator model: DISJ bits under an explicit topology",
+		Note: "broadcast = Section 5 protocol on the blackboard (Θ(n log k + k)); coordinator = exact " +
+			"bitmap protocol to a hub over a netrun star topology, message-passing delivery (Θ(n·k)); " +
+			"wire bits include framing and acks, checked to sum per-link.",
+		Header: []string{"n", "k", "bcast bits", "coord bits", "coord/bcast", "bcast/(n·log2k+k)", "coord/(n·k)", "coord wire bits"},
+	}
+	err := sweepRows(cfg, t, rng.New(cfg.Seed+21), len(cells), func(cell int, src *rng.Source) ([]string, error) {
+		n, k := cells[cell].n, cells[cell].k
+		var bcastBits, coordBits, wireBits []float64
+		var inst *disj.Instance
+		for tr := 0; tr < trials; tr++ {
+			var err error
+			inst, err = disj.GenerateFromMuNInto(inst, src, n, k)
+			if err != nil {
+				return nil, err
+			}
+			bOut, err := disj.SolveOptimal(inst)
+			if err != nil {
+				return nil, err
+			}
+			cProto, err := disj.NewCoordinatorProtocol(inst, disj.CoordinatorOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := netrun.Run(cProto.Scheduler(), cProto.Players(), nil, netrun.Config{
+				Topology: netrun.Star{},
+				Delivery: netrun.DeliverCoordinator,
+				Seed:     src.Uint64(),
+				Timeout:  time.Second,
+				Limits:   cProto.Limits(),
+				Recorder: cfg.Recorder,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cOut, err := cProto.Outcome(res.Board)
+			if err != nil {
+				return nil, err
+			}
+			if cOut.Disjoint != bOut.Disjoint {
+				return nil, fmt.Errorf("sim: E21 models disagree at n=%d k=%d", n, k)
+			}
+			if cOut.Bits != n*k {
+				return nil, fmt.Errorf("sim: E21 exact coordinator protocol cost %d bits, want n·k = %d", cOut.Bits, n*k)
+			}
+			var perLink int64
+			for _, ls := range res.Stats.PerLink {
+				perLink += ls.WireBits
+			}
+			if perLink != res.Stats.WireBits {
+				return nil, fmt.Errorf("sim: E21 per-link wire bits %d do not sum to total %d", perLink, res.Stats.WireBits)
+			}
+			bcastBits = append(bcastBits, float64(bOut.Bits))
+			coordBits = append(coordBits, float64(cOut.Bits))
+			wireBits = append(wireBits, float64(res.Stats.WireBits))
+		}
+		bs, cs := Summarize(bcastBits), Summarize(coordBits)
+		return []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", k),
+			F(bs.Mean),
+			F(cs.Mean),
+			F(cs.Mean / bs.Mean),
+			F(bs.Mean / disj.OptimalCostModel(n, k)),
+			F(cs.Mean / disj.CoordinatorCostModel(float64(n), float64(k))),
+			F(Summarize(wireBits).Mean),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // Experiment is one registered experiment: its EXPERIMENTS.md ID and the
 // function that renders its table.
 type Experiment struct {
@@ -1584,7 +1688,7 @@ type Experiment struct {
 	Run func(Config) (*Table, error)
 }
 
-// Experiments returns the full registry in E1..E20 order. The slice is
+// Experiments returns the full registry in E1..E21 order. The slice is
 // freshly allocated; callers may filter or reorder it. The registry is the
 // single source of truth shared by All, cmd/experiments and the root
 // benchmark/telemetry harness.
@@ -1600,10 +1704,11 @@ func Experiments() []Experiment {
 		{"E15", E15TwoPartyBaseline}, {"E16", E16CostBreakdown},
 		{"E17", E17PointwiseOr}, {"E18", E18InternalVsExternal},
 		{"E19", E19WirelessContention}, {"E20", E20NetworkedOverhead},
+		{"E21", E21TopologySeparation},
 	}
 }
 
-// All runs every experiment and returns the tables in E1..E20 order. The
+// All runs every experiment and returns the tables in E1..E21 order. The
 // experiments themselves run concurrently on the configured worker pool
 // (each one also parallelizes its own sweep); every experiment seeds its
 // randomness independently from cfg.Seed, so the tables are identical to a

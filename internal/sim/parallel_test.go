@@ -108,8 +108,8 @@ func TestAllWorkerCountInvariance(t *testing.T) {
 	}
 	serial := render(1)
 	parallel := render(4)
-	if len(serial) != 20 || len(parallel) != 20 {
-		t.Fatalf("suite sizes %d/%d, want 20", len(serial), len(parallel))
+	if len(serial) != 21 || len(parallel) != 21 {
+		t.Fatalf("suite sizes %d/%d, want 21", len(serial), len(parallel))
 	}
 	for i := range serial {
 		if serial[i] != parallel[i] {

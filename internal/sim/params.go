@@ -44,6 +44,8 @@ func Caps(id string) ParamCaps {
 		return ParamCaps{Ks: true}
 	case "E20":
 		return ParamCaps{Ns: true, Ks: true, Faults: true}
+	case "E21":
+		return ParamCaps{Ns: true, Ks: true}
 	default:
 		return ParamCaps{}
 	}

@@ -1,5 +1,5 @@
 // Package sim is the experiment harness: it renders the twenty
-// per-theorem experiments of EXPERIMENTS.md (E1–E20) as tables, with
+// per-theorem experiments of EXPERIMENTS.md (E1–E21) as tables, with
 // fixed-seed replication and simple summary statistics. Experiments run
 // their sweep cells on a worker pool (see Config.Workers and engine.go)
 // with output that is bit-identical at any worker count. cmd/experiments

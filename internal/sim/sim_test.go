@@ -318,8 +318,8 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 20 {
-		t.Fatalf("All returned %d tables, want 20", len(tables))
+	if len(tables) != 21 {
+		t.Fatalf("All returned %d tables, want 21", len(tables))
 	}
 	var sb strings.Builder
 	for _, tbl := range tables {
@@ -436,6 +436,40 @@ func TestE20Shape(t *testing.T) {
 		}
 		if wire := cell(t, tbl, r, 2); wire <= baseWire {
 			t.Fatalf("row %d (%s): wire bits %v not above fault-free %v", r, tbl.Rows[r][0], wire, baseWire)
+		}
+	}
+}
+
+func TestE21Shape(t *testing.T) {
+	tbl, err := E21TopologySeparation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: n, k, bcast bits, coord bits, coord/bcast, bcast/(n·log2k+k),
+	// coord/(n·k), coord wire bits. Quick rows share one n and ascend in k.
+	if len(tbl.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	prev := 0.0
+	for r := range tbl.Rows {
+		// The exact coordinator protocol meets its Θ(n·k) model exactly.
+		if ratio := cell(t, tbl, r, 6); math.Abs(ratio-1) > 1e-9 {
+			t.Fatalf("row %d: coord/(n·k) = %v, want exactly 1", r, ratio)
+		}
+		// Broadcast cost stays within a constant band of n·log2k + k.
+		if ratio := cell(t, tbl, r, 5); ratio <= 0 || ratio > 5 {
+			t.Fatalf("row %d: bcast normalized cost %v out of band", r, ratio)
+		}
+		// The separation is the headline: coord/bcast must grow with k,
+		// since n·k outpaces n·log k.
+		sep := cell(t, tbl, r, 4)
+		if sep <= prev {
+			t.Fatalf("row %d: coord/bcast %v not above previous %v", r, sep, prev)
+		}
+		prev = sep
+		// Wire bits carry framing on top of the board-level payload.
+		if cell(t, tbl, r, 7) <= cell(t, tbl, r, 3) {
+			t.Fatalf("row %d: wire bits do not exceed board bits", r)
 		}
 	}
 }

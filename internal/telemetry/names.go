@@ -25,7 +25,8 @@ const (
 	NetrunCrashes   = "netrun.crashes"    // counter: players crashed
 	NetrunAckNs     = "netrun.ack_ns"     // histogram: data-frame send-to-ack latency
 	NetrunTurnNs    = "netrun.turn_ns"    // histogram: turn announcement-to-delivery latency
-	NetrunLink      = "netrun.link"       // per-link prefix
+	NetrunLink      = "netrun.link"       // per-link prefix (legacy shared-board runtime, indexed by player)
+	NetrunTopo      = "netrun.topo"       // per-link prefix (topology runtime, indexed by physical link)
 
 	// Experiment harness (internal/sim) and worker pool (internal/pool).
 	SimCells         = "sim.cells"           // counter: sweep cells evaluated
