@@ -32,6 +32,7 @@ import (
 	"broadcastic/internal/core"
 	"broadcastic/internal/disj"
 	"broadcastic/internal/dist"
+	"broadcastic/internal/ir"
 	"broadcastic/internal/pool"
 	"broadcastic/internal/prob"
 	"broadcastic/internal/rng"
@@ -234,10 +235,115 @@ func BenchmarkEstimateCIC_K4(b *testing.B)  { benchEstimateCIC(b, 4) }
 func BenchmarkEstimateCIC_K16(b *testing.B) { benchEstimateCIC(b, 16) }
 func BenchmarkEstimateCIC_K64(b *testing.B) { benchEstimateCIC(b, 64) }
 
-// benchEstimateCICScalar is the same workload with the lane engine
+// benchEstimateCICCompiled is the same workload pinned to the compiled-IR
+// engine: it runs the default engine resolution but fails the benchmark
+// unless the IR program served every sample, so the gated number can
+// never silently degrade into measuring a fallback engine.
+func benchEstimateCICCompiled(b *testing.B, k int) {
+	b.Helper()
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 200
+	col := telemetry.NewCollector()
+	opts := core.EstimateOptions{Recorder: col}
+	// Untimed warm-up op, as in benchEstimateCIC; also compiles and caches
+	// the program so timed ops measure cached-program execution.
+	if _, err := core.EstimateCICOpts(spec, mu, rng.New(1), samples, opts); err != nil {
+		b.Fatal(err)
+	}
+	col.Reset()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1)
+		if _, err := core.EstimateCICOpts(spec, mu, src, samples, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	b.StopTimer()
+	snap := col.Snapshot()
+	if got := snap[telemetry.CoreCICIRSamples]; got != float64(samples)*float64(b.N) {
+		b.Fatalf("IR engine served %v samples, want %d×%d", got, samples, b.N)
+	}
+	if got := snap[telemetry.IRProgramMisses]; got != 0 {
+		b.Fatalf("timed ops recompiled the program %v times, want cache hits only", got)
+	}
+	n := float64(b.N)
+	for name, v := range snap {
+		snap[name] = v / n
+	}
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, snap)
+}
+
+func BenchmarkEstimateCICCompiled_K4(b *testing.B)  { benchEstimateCICCompiled(b, 4) }
+func BenchmarkEstimateCICCompiled_K16(b *testing.B) { benchEstimateCICCompiled(b, 16) }
+func BenchmarkEstimateCICCompiled_K64(b *testing.B) { benchEstimateCICCompiled(b, 64) }
+
+// BenchmarkIRCompile times one uncached CompileEstimator of the K16
+// sequential AND_k protocol under μ — the cost the program cache
+// amortizes away. irCompileSpec adapts core.Spec's Transcript signatures
+// to ir.Spec's plain []int ones, as internal/core does privately.
+func BenchmarkIRCompile(b *testing.B) {
+	const k = 16
+	spec, err := andk.NewSequential(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := irCompileSpec{spec}
+	if ir.CompileEstimator(a, mu) == nil {
+		b.Fatal("K16 sequential AND compiles to nil")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ir.CompileEstimator(a, mu) == nil {
+			b.Fatal("compile failed")
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
+
+type irCompileSpec struct{ s core.Spec }
+
+func (a irCompileSpec) NumPlayers() int { return a.s.NumPlayers() }
+func (a irCompileSpec) InputSize() int  { return a.s.InputSize() }
+func (a irCompileSpec) NextSpeaker(t []int) (int, bool, error) {
+	return a.s.NextSpeaker(core.Transcript(t))
+}
+func (a irCompileSpec) MessageAlphabet(t []int) (int, error) {
+	return a.s.MessageAlphabet(core.Transcript(t))
+}
+func (a irCompileSpec) MessageDist(t []int, player, input int) (prob.Dist, error) {
+	return a.s.MessageDist(core.Transcript(t), player, input)
+}
+func (a irCompileSpec) MessageBits(t []int, symbol int) (int, error) {
+	return a.s.MessageBits(core.Transcript(t), symbol)
+}
+func (a irCompileSpec) Output(t []int) (int, error) { return a.s.Output(core.Transcript(t)) }
+
+// benchEstimateCICScalar is the same workload with both fast engines
 // disabled, keeping the scalar estimator's cost on file so the
-// BENCH_*.json trajectory shows the word-parallel win (and any scalar
-// regression) separately from the default path.
+// BENCH_*.json trajectory shows the compiled and word-parallel wins (and
+// any scalar regression) separately from the default path.
 func benchEstimateCICScalar(b *testing.B, k int) {
 	b.Helper()
 	spec, err := andk.NewSequential(k)
@@ -249,7 +355,7 @@ func benchEstimateCICScalar(b *testing.B, k int) {
 		b.Fatal(err)
 	}
 	const samples = 200
-	opts := core.EstimateOptions{DisableLanes: true}
+	opts := core.EstimateOptions{DisableIR: true, DisableLanes: true}
 	// Untimed warm-up op, as in benchEstimateCIC.
 	if _, err := core.EstimateCICOpts(spec, mu, rng.New(1), samples, opts); err != nil {
 		b.Fatal(err)
@@ -271,6 +377,51 @@ func benchEstimateCICScalar(b *testing.B, k int) {
 }
 
 func BenchmarkEstimateCICScalar_K16(b *testing.B) { benchEstimateCICScalar(b, 16) }
+
+// BenchmarkParallelSpecScalar times the scalar estimator on the 4-fold
+// parallel AND_4 task (ParallelSpec over ProductOfPriors) with both fast
+// engines disabled — the workload whose per-step transcript re-splitting
+// the memoized ParallelSpec walk turns from O(L²) to O(L) interface
+// calls. A regression here means the split memo stopped engaging.
+func BenchmarkParallelSpecScalar(b *testing.B) {
+	const k, copies = 4, 4
+	base, err := andk.NewSequential(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := core.NewParallelSpec(base, copies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu, err := dist.NewMu(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := core.NewProductOfPriors(mu, copies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const samples = 50
+	opts := core.EstimateOptions{DisableIR: true, DisableLanes: true}
+	// Untimed warm-up op, as in benchEstimateCIC.
+	if _, err := core.EstimateCICOpts(spec, prior, rng.New(1), samples, opts); err != nil {
+		b.Fatal(err)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(1)
+		if _, err := core.EstimateCICOpts(spec, prior, src, samples, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	recordSample(b.Name(), int64(b.N), float64(elapsed)/n, float64(ms.Mallocs-mallocsBefore)/n, nil)
+}
 
 // BenchmarkBatchExec_K64 times the raw 64-lane executor on the 64-player
 // sequential AND kernel: one op runs 64 protocol instances to completion,

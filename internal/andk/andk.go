@@ -27,6 +27,8 @@ package andk
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"broadcastic/internal/core"
 	"broadcastic/internal/prob"
@@ -125,6 +127,10 @@ func (s *Sequential) Output(t core.Transcript) (int, error) {
 	return 1, nil
 }
 
+// IRKey names the protocol for the compiled-IR program cache (see
+// internal/ir.Keyer): behavior is fully determined by k.
+func (s *Sequential) IRKey() string { return "andk.seq/" + strconv.Itoa(s.k) }
+
 var _ core.Spec = (*Sequential)(nil)
 
 // BroadcastAll is the protocol in which every player writes its bit.
@@ -177,6 +183,9 @@ func (b *BroadcastAll) Output(t core.Transcript) (int, error) {
 	}
 	return 1, nil
 }
+
+// IRKey names the protocol for the compiled-IR program cache.
+func (b *BroadcastAll) IRKey() string { return "andk.all/" + strconv.Itoa(b.k) }
 
 var _ core.Spec = (*BroadcastAll)(nil)
 
@@ -233,6 +242,11 @@ func (tr *Truncated) Output(t core.Transcript) (int, error) {
 		return 0, nil
 	}
 	return 1, nil
+}
+
+// IRKey names the protocol for the compiled-IR program cache.
+func (tr *Truncated) IRKey() string {
+	return "andk.trunc/" + strconv.Itoa(tr.k) + "," + strconv.Itoa(tr.m)
 }
 
 var _ core.Spec = (*Truncated)(nil)
@@ -329,6 +343,15 @@ func (l *Lazy) Output(t core.Transcript) (int, error) {
 		return 0, fmt.Errorf("andk: lazy transcript not final")
 	}
 	return 1, nil
+}
+
+// IRKey names the protocol for the compiled-IR program cache. delta
+// enters as its exact float64 bit pattern: two Lazy specs share a program
+// only when their coins are bit-identical.
+func (l *Lazy) IRKey() string {
+	return "andk.lazy/" + strconv.Itoa(l.k) + "," +
+		strconv.FormatUint(math.Float64bits(l.delta), 16) + "," +
+		strconv.Itoa(l.giveUpOutput)
 }
 
 var _ core.Spec = (*Lazy)(nil)

@@ -133,7 +133,25 @@ func (sp *SpecProtocol) speak(i int) (blackboard.Message, error) {
 // RunSpecOnBlackboard executes spec on the given inputs over the broadcast
 // runtime. private provides the players' randomness (may be nil for
 // deterministic specs).
+//
+// Keyed specs within the compiler's gates run through the table-driven
+// ir.BoardExec instead of the interface-interpreting SpecProtocol; the
+// board contents, transcript, output and private draw stream are
+// identical (one uniform per message with a private source), and any
+// condition the fast path cannot serve falls back here so the dynamic
+// bridge surfaces its usual errors.
 func RunSpecOnBlackboard(spec Spec, x []int, private *rng.Source) (*BoardRun, error) {
+	if e := irBoardExec(spec, x, private); e != nil {
+		res, err := blackboard.Run(e.Scheduler(), e.Players(), nil, blackboard.Limits{MaxMessages: defaultMaxDepth})
+		if err != nil {
+			return nil, fmt.Errorf("core: spec on blackboard: %w", err)
+		}
+		out, err := e.Output()
+		if err != nil {
+			return nil, err
+		}
+		return &BoardRun{Board: res.Board, Transcript: Transcript(e.Transcript()), Output: out}, nil
+	}
 	sp, err := NewSpecProtocol(spec, x, private)
 	if err != nil {
 		return nil, err

@@ -108,40 +108,11 @@ func posteriorDivergenceSum(leaf *Leaf, priors [][]float64) (float64, error) {
 
 // qDivergenceSum is posteriorDivergenceSum on bare q-factor rows; the
 // Monte-Carlo hot path calls it directly so no Leaf needs to be built per
-// sample.
+// sample. It delegates to info.QDivergenceSum, which the compiled-IR
+// leaf-table builder also calls — sharing the exact float-op order is
+// what pins the two execution paths bit-identical.
 func qDivergenceSum(q [][]float64, priors [][]float64) (float64, error) {
-	total := 0.0
-	for i, row := range q {
-		pr := priors[i]
-		if len(pr) > len(row) {
-			return 0, fmt.Errorf("core: prior domain %d exceeds leaf domain %d", len(pr), len(row))
-		}
-		norm := 0.0
-		for v, pv := range pr {
-			norm += pv * row[v]
-		}
-		if norm == 0 {
-			// The leaf is unreachable under this player's prior; the caller
-			// weights it by probability zero, so its divergence is moot.
-			continue
-		}
-		d := 0.0
-		for v, pv := range pr {
-			post := pv * row[v] / norm
-			if post == 0 {
-				continue
-			}
-			if pv == 0 {
-				return 0, fmt.Errorf("core: posterior mass on zero-prior input %d of player %d", v, i)
-			}
-			d += post * math.Log2(post/pv)
-		}
-		if d < 0 && d > -1e-12 {
-			d = 0
-		}
-		total += d
-	}
-	return total, nil
+	return info.QDivergenceSum(q, priors)
 }
 
 // externalICFromLeaves computes I(Π; X) exactly by enumerating all input

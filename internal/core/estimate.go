@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"broadcastic/internal/ir"
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
@@ -80,15 +81,22 @@ type EstimateOptions struct {
 	// exists only for benchmark comparisons and the experiments' -batch
 	// flag, never for correctness.
 	DisableLanes bool
+	// DisableIR forces the interpreted engines (lanes, then scalar) even
+	// for keyed (spec, prior) pairs the compiled-IR engine could serve.
+	// Bit-identical either way — pinned by the ir_equiv tests — so like
+	// DisableLanes it exists only for comparisons and the -noir flag.
+	DisableIR bool
 }
 
 // EstimateCICOpts is the full-control estimator entry point every other
-// Estimate* variant delegates to. When the protocol certifies a lane
-// kernel and the prior exposes two-point rows (see lane.go), shards run
-// on the 64-lane batch engine; otherwise — or when opts.DisableLanes is
-// set — they run on the scalar engine. Both paths share the shard layout
-// and merge, so results are bit-identical across worker counts and
-// across engines.
+// Estimate* variant delegates to. Engine precedence per estimation:
+// when the keyed (spec, prior) pair compiles to an ir.Program (cached
+// across calls — see internal/ir), shards run the compiled table loop;
+// otherwise, when the protocol certifies a lane kernel and the prior
+// exposes two-point rows (see lane.go), shards run on the 64-lane batch
+// engine; otherwise they run on the scalar engine. All paths share the
+// shard layout and merge, so results are bit-identical across worker
+// counts and across engines.
 func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts EstimateOptions) (*CICEstimate, error) {
 	if err := validateShapes(spec, prior); err != nil {
 		return nil, err
@@ -99,9 +107,13 @@ func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts 
 	if src == nil {
 		return nil, fmt.Errorf("core: nil randomness source")
 	}
+	var prog *ir.Program
+	if !opts.DisableIR {
+		prog = irEstimatorProgram(spec, prior, opts.Recorder)
+	}
 	var plan *lanePlan
-	if !opts.DisableLanes {
-		plan = newLanePlan(spec, prior)
+	if prog == nil && !opts.DisableLanes {
+		plan = newLanePlan(spec, prior, nil)
 	}
 	rec := opts.Recorder
 	shards := (samples + cicShardSize - 1) / cicShardSize
@@ -109,7 +121,9 @@ func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts 
 	if rec != nil {
 		rec.Count(telemetry.CoreCICSamples, int64(samples))
 		rec.Count(telemetry.CoreCICShards, int64(shards))
-		if plan != nil {
+		if prog != nil {
+			rec.Count(telemetry.CoreCICIRSamples, int64(samples))
+		} else if plan != nil {
 			rec.Count(telemetry.CoreCICLaneSamples, int64(samples))
 		}
 	}
@@ -121,9 +135,12 @@ func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts 
 		span := telemetry.StartSpan(rec, telemetry.CoreCICShardNs)
 		var p cicPartial
 		var err error
-		if plan != nil {
+		switch {
+		case prog != nil:
+			p.sum, p.sumSq, p.bitsSum = prog.Shard(streams[i], count)
+		case plan != nil:
 			p = laneShard(plan, streams[i], count)
-		} else {
+		default:
 			p, err = cicShard(spec, prior, streams[i], count)
 		}
 		span.End()
@@ -179,12 +196,32 @@ func cicShard(spec Spec, prior Prior, src *rng.Source, count int) (cicPartial, e
 // SampleTranscript runs spec once on input x and returns the transcript,
 // its q-factors and the communication cost. Used by the compression layer
 // and by tests that need a single concrete execution.
+//
+// Keyed specs within the compiler's gates run on their cached ir.Program:
+// the compiled walk consumes the identical draw stream (one uniform per
+// message) and returns the identical transcript, q-factors, bit cost and
+// output. Inputs outside the compiled domain fall back to the dynamic
+// walk so the spec surfaces its own out-of-range error.
 func SampleTranscript(spec Spec, x []int, src *rng.Source) (Transcript, *Leaf, error) {
 	if len(x) != spec.NumPlayers() {
 		return nil, nil, fmt.Errorf("core: input has %d entries, want %d", len(x), spec.NumPlayers())
 	}
 	if src == nil {
 		return nil, nil, fmt.Errorf("core: nil randomness source")
+	}
+	if prog := irSpecProgram(spec, nil); prog != nil {
+		inRange := true
+		for _, v := range x {
+			if v < 0 || v >= prog.InputSize() {
+				inRange = false
+				break
+			}
+		}
+		if inRange {
+			st, q, bits, out := prog.SampleWalk(x, src)
+			t := Transcript(st)
+			return t, &Leaf{Transcript: t.Clone(), Q: q, Bits: bits, Output: out}, nil
+		}
 	}
 	k := spec.NumPlayers()
 	inputSize := spec.InputSize()

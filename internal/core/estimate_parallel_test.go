@@ -74,12 +74,12 @@ func TestEstimateCICShardRaggedBudgets(t *testing.T) {
 	}
 }
 
-// TestEstimateCICBatchingEquivalence is the batching half of the
-// serial-equivalence guarantee: with the 64-lane engine on (the default)
-// and off, EstimateCICOpts must produce the identical CICEstimate — every
-// field, every bit — at 1 and 4 workers, on every lane-eligible protocol
-// shape. The telemetry counter proves the lane engine genuinely engaged
-// rather than silently falling back to scalar.
+// TestEstimateCICBatchingEquivalence is the engine half of the
+// serial-equivalence guarantee: the compiled-IR engine (the default), the
+// 64-lane engine (IR disabled) and the scalar engine (both disabled) must
+// produce the identical CICEstimate — every field, every bit — at 1 and 4
+// workers, on every lane-eligible protocol shape. The telemetry counters
+// prove each engine genuinely engaged rather than silently falling back.
 func TestEstimateCICBatchingEquivalence(t *testing.T) {
 	// 1300 samples spans multiple shards including a ragged final shard.
 	const samples = 1300
@@ -101,34 +101,56 @@ func TestEstimateCICBatchingEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, spec := range []core.Spec{seq, all, trunc} {
+			// BroadcastAll's transcript tree has 2^k − 1 interior states,
+			// outside the compiler's gate beyond k=16; the default path
+			// must then serve those samples on the lane engine instead.
+			wantIR := spec != core.Spec(all) || k <= 16
 			for _, workers := range []int{1, 4} {
 				col := telemetry.NewCollector()
-				batched, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
+				compiled, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
 					core.EstimateOptions{Workers: workers, Recorder: col})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if got := col.Snapshot()[telemetry.CoreCICLaneSamples]; got != samples {
+				snap := col.Snapshot()
+				if wantIR {
+					if got := snap[telemetry.CoreCICIRSamples]; got != samples {
+						t.Fatalf("k=%d workers=%d %T: IR engine served %v samples, want %d",
+							k, workers, spec, got, samples)
+					}
+				} else if got := snap[telemetry.CoreCICLaneSamples]; got != samples {
+					t.Fatalf("k=%d workers=%d %T: lane fallback served %v samples, want %d",
+						k, workers, spec, got, samples)
+				}
+				laneCol := telemetry.NewCollector()
+				batched, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
+					core.EstimateOptions{Workers: workers, Recorder: laneCol, DisableIR: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := laneCol.Snapshot()[telemetry.CoreCICLaneSamples]; got != samples {
 					t.Fatalf("k=%d workers=%d %T: lane engine served %v samples, want %d",
 						k, workers, spec, got, samples)
 				}
 				scalar, err := core.EstimateCICOpts(spec, mu, rng.New(17), samples,
-					core.EstimateOptions{Workers: workers, DisableLanes: true})
+					core.EstimateOptions{Workers: workers, DisableIR: true, DisableLanes: true})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if *batched != *scalar {
-					t.Fatalf("k=%d workers=%d %T: batched estimate %+v != scalar estimate %+v",
-						k, workers, spec, batched, scalar)
+				if *compiled != *batched || *batched != *scalar {
+					t.Fatalf("k=%d workers=%d %T: compiled %+v, batched %+v, scalar %+v differ",
+						k, workers, spec, compiled, batched, scalar)
 				}
 			}
 		}
 	}
 }
 
-// TestEstimateCICLazyFallsBackToScalar pins the fallback rule end to end:
-// the Lazy protocol's opening coin is a non-deterministic message, so it
-// must run on the scalar engine (no lane telemetry) and still succeed.
+// TestEstimateCICLazyFallsBackToScalar pins the per-engine fallback
+// rules end to end: the Lazy protocol's opening coin is a
+// non-deterministic message, so the lane engine must never serve it —
+// the compiled-IR engine does by default (randomized messages compile
+// fine), and with IR disabled it must run on the scalar engine.
 func TestEstimateCICLazyFallsBackToScalar(t *testing.T) {
 	lazy, err := andk.NewLazy(8, 0.25, 0)
 	if err != nil {
@@ -147,8 +169,24 @@ func TestEstimateCICLazyFallsBackToScalar(t *testing.T) {
 	if est.MeanBits <= 0 {
 		t.Fatalf("degenerate estimate %+v", est)
 	}
-	if got, ok := col.Snapshot()[telemetry.CoreCICLaneSamples]; ok && got != 0 {
+	if got := col.Snapshot()[telemetry.CoreCICIRSamples]; got != 600 {
+		t.Fatalf("IR engine served %v samples of a randomized protocol, want 600", got)
+	}
+	scol := telemetry.NewCollector()
+	scalar, err := core.EstimateCICOpts(lazy, mu, rng.New(5), 600,
+		core.EstimateOptions{Workers: 2, Recorder: scol, DisableIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := scol.Snapshot()
+	if got := snap[telemetry.CoreCICLaneSamples]; got != 0 {
 		t.Fatalf("lane engine engaged on a non-lane protocol: %v samples", got)
+	}
+	if got := snap[telemetry.CoreCICIRSamples]; got != 0 {
+		t.Fatalf("IR engine engaged with DisableIR set: %v samples", got)
+	}
+	if *scalar != *est {
+		t.Fatalf("compiled estimate %+v != scalar estimate %+v", est, scalar)
 	}
 }
 

@@ -1,0 +1,449 @@
+package core_test
+
+// The compile-vs-dynamic equivalence harness: every compiled-IR fast
+// path must be bit-identical to the dynamic interpretation it replaces —
+// same transcripts, same leaves, same RNG stream positions, same
+// estimates — across the andk/disj/parallel spec families and randomly
+// generated small specs. Engine selection hinges on ir.Keyer, so
+// wrapping a spec in a key-stripping struct forces the dynamic path on
+// the identical behavior; comparing the two runs pins the equivalence.
+// (The compress layer rides on core.SampleTranscript, so its family is
+// covered through the transcript parity here plus compress's own
+// CompressRun-vs-SampleTranscript tests.)
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"broadcastic/internal/andk"
+	"broadcastic/internal/core"
+	"broadcastic/internal/disj"
+	"broadcastic/internal/dist"
+	"broadcastic/internal/ir"
+	"broadcastic/internal/prob"
+	"broadcastic/internal/rng"
+	"broadcastic/internal/telemetry"
+)
+
+// plainSpec strips the IRKey method from a keyed spec: embedding the
+// core.Spec interface promotes only its methods, so the wrapper is
+// unkeyed and the engines treat it as dynamic-only — while behaving
+// identically to the wrapped spec.
+type plainSpec struct{ core.Spec }
+
+// plainPrior is the prior-side key stripper.
+type plainPrior struct{ core.Prior }
+
+func equivSpecs(t *testing.T) []core.Spec {
+	t.Helper()
+	seq, err := andk.NewSequential(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := andk.NewBroadcastAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := andk.NewTruncated(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := andk.NewLazy(5, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := disj.NewSequentialSpec(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := andk.NewSequential(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.NewParallelSpec(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Spec{seq, all, trunc, lazy, dj, par}
+}
+
+// TestIRSampleTranscriptMatchesDynamic pins the compiled SampleTranscript
+// fast path against the dynamic walk on every spec family: identical
+// transcript, identical leaf (q-factors, bits, output), and the source
+// left at the identical stream position.
+func TestIRSampleTranscriptMatchesDynamic(t *testing.T) {
+	for _, spec := range equivSpecs(t) {
+		k, inputSize := spec.NumPlayers(), spec.InputSize()
+		gen := rng.New(99)
+		for trial := 0; trial < 25; trial++ {
+			x := make([]int, k)
+			for i := range x {
+				x[i] = int(gen.Uint64() % uint64(inputSize))
+			}
+			fast, slow := rng.New(uint64(trial)), rng.New(uint64(trial))
+			fm, sm := fast.Mark(), slow.Mark()
+			ft, fl, err := core.SampleTranscript(spec, x, fast)
+			if err != nil {
+				t.Fatalf("%T x=%v: compiled: %v", spec, x, err)
+			}
+			st, sl, err := core.SampleTranscript(plainSpec{spec}, x, slow)
+			if err != nil {
+				t.Fatalf("%T x=%v: dynamic: %v", spec, x, err)
+			}
+			if !reflect.DeepEqual(ft, st) {
+				t.Fatalf("%T x=%v: transcript %v != dynamic %v", spec, x, ft, st)
+			}
+			if fl.Bits != sl.Bits || fl.Output != sl.Output ||
+				!reflect.DeepEqual(fl.Transcript, sl.Transcript) ||
+				!reflect.DeepEqual(fl.Q, sl.Q) {
+				t.Fatalf("%T x=%v: leaf %+v != dynamic %+v", spec, x, fl, sl)
+			}
+			if fd, sd := fast.DrawsSince(fm), slow.DrawsSince(sm); fd != sd {
+				t.Fatalf("%T x=%v: compiled consumed %d draws, dynamic %d", spec, x, fd, sd)
+			}
+		}
+	}
+}
+
+// TestIRBlackboardMatchesDynamic pins the compiled blackboard stepper
+// against the dynamic SpecProtocol bridge: identical board contents
+// (message count, bit total, transcript key), identical output, and the
+// private source at the identical position.
+func TestIRBlackboardMatchesDynamic(t *testing.T) {
+	for _, spec := range equivSpecs(t) {
+		k, inputSize := spec.NumPlayers(), spec.InputSize()
+		gen := rng.New(7)
+		for trial := 0; trial < 25; trial++ {
+			x := make([]int, k)
+			for i := range x {
+				x[i] = int(gen.Uint64() % uint64(inputSize))
+			}
+			fast, slow := rng.New(uint64(1000+trial)), rng.New(uint64(1000+trial))
+			fm, sm := fast.Mark(), slow.Mark()
+			fr, err := core.RunSpecOnBlackboard(spec, x, fast)
+			if err != nil {
+				t.Fatalf("%T x=%v: compiled: %v", spec, x, err)
+			}
+			sr, err := core.RunSpecOnBlackboard(plainSpec{spec}, x, slow)
+			if err != nil {
+				t.Fatalf("%T x=%v: dynamic: %v", spec, x, err)
+			}
+			if !reflect.DeepEqual(fr.Transcript, sr.Transcript) || fr.Output != sr.Output {
+				t.Fatalf("%T x=%v: run (%v, %d) != dynamic (%v, %d)",
+					spec, x, fr.Transcript, fr.Output, sr.Transcript, sr.Output)
+			}
+			if fr.Board.NumMessages() != sr.Board.NumMessages() ||
+				fr.Board.TotalBits() != sr.Board.TotalBits() ||
+				fr.Board.TranscriptKey() != sr.Board.TranscriptKey() {
+				t.Fatalf("%T x=%v: board (%d msgs, %d bits, %q) != dynamic (%d msgs, %d bits, %q)",
+					spec, x, fr.Board.NumMessages(), fr.Board.TotalBits(), fr.Board.TranscriptKey(),
+					sr.Board.NumMessages(), sr.Board.TotalBits(), sr.Board.TranscriptKey())
+			}
+			if fd, sd := fast.DrawsSince(fm), slow.DrawsSince(sm); fd != sd {
+				t.Fatalf("%T x=%v: compiled consumed %d private draws, dynamic %d", spec, x, fd, sd)
+			}
+		}
+	}
+}
+
+// TestIRParallelEstimateMatchesDynamic runs the n-fold parallel task —
+// ParallelSpec over ProductOfPriors, Theorem 4's direct-sum object —
+// through the compiled engine and the dynamic engines, requiring
+// bit-identical estimates and proof via counters that the compiled
+// engine really served the default run.
+func TestIRParallelEstimateMatchesDynamic(t *testing.T) {
+	base, err := andk.NewSequential(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.NewParallelSpec(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dist.NewMu(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := core.NewProductOfPriors(mu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 700
+	for _, workers := range []int{1, 4} {
+		col := telemetry.NewCollector()
+		compiled, err := core.EstimateCICOpts(par, prod, rng.New(21), samples,
+			core.EstimateOptions{Workers: workers, Recorder: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := col.Snapshot()[telemetry.CoreCICIRSamples]; got != samples {
+			t.Fatalf("workers=%d: IR engine served %v samples, want %d", workers, got, samples)
+		}
+		scalar, err := core.EstimateCICOpts(par, prod, rng.New(21), samples,
+			core.EstimateOptions{Workers: workers, DisableIR: true, DisableLanes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *compiled != *scalar {
+			t.Fatalf("workers=%d: compiled %+v != dynamic %+v", workers, compiled, scalar)
+		}
+	}
+}
+
+// TestIRIneligibleSpecFallsBackIdentically pins the eligibility gate's
+// fallback: DISJ at n=13 has 2^13 input values per player — past the
+// compiler's input-size gate — so the default run must serve every
+// sample dynamically and still produce the bit-identical estimate.
+func TestIRIneligibleSpecFallsBackIdentically(t *testing.T) {
+	dj, err := disj.NewSequentialSpec(13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mun, err := dist.NewMuN(2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 60
+	col := telemetry.NewCollector()
+	def, err := core.EstimateCICOpts(dj, mun, rng.New(11), samples,
+		core.EstimateOptions{Workers: 2, Recorder: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if got := snap[telemetry.CoreCICIRSamples]; got != 0 {
+		t.Fatalf("IR engine served %v samples of an ineligible spec", got)
+	}
+	dyn, err := core.EstimateCICOpts(dj, mun, rng.New(11), samples,
+		core.EstimateOptions{Workers: 2, DisableIR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *def != *dyn {
+		t.Fatalf("default estimate %+v != dynamic estimate %+v", def, dyn)
+	}
+}
+
+// TestIRProgramCacheServesRepeatRuns is the amortization acceptance
+// check: the first estimate of a (spec, prior) pair compiles exactly
+// once, and a second identical run hits the program cache — no
+// recompile — while producing the identical estimate.
+func TestIRProgramCacheServesRepeatRuns(t *testing.T) {
+	ir.ResetProgramCache()
+	spec, err := andk.NewSequential(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dist.NewMu(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 400
+	first := telemetry.NewCollector()
+	est1, err := core.EstimateCICOpts(spec, mu, rng.New(3), samples,
+		core.EstimateOptions{Recorder: first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := first.Snapshot()
+	if got := snap1[telemetry.IRProgramMisses]; got != 1 {
+		t.Fatalf("first run compiled %v times, want 1", got)
+	}
+	if snap1[telemetry.IRCompileNs+".count"] == 0 && snap1[telemetry.IRCompileNs] == 0 {
+		t.Logf("note: no %s observation surfaced in snapshot %v", telemetry.IRCompileNs, snap1)
+	}
+	second := telemetry.NewCollector()
+	est2, err := core.EstimateCICOpts(spec, mu, rng.New(3), samples,
+		core.EstimateOptions{Recorder: second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := second.Snapshot()
+	if got := snap2[telemetry.IRProgramHits]; got < 1 {
+		t.Fatalf("second run saw %v program hits, want ≥ 1", got)
+	}
+	if got := snap2[telemetry.IRProgramMisses]; got != 0 {
+		t.Fatalf("second run recompiled %v times, want 0", got)
+	}
+	if *est1 != *est2 {
+		t.Fatalf("repeat run estimate %+v != first %+v", est2, est1)
+	}
+}
+
+// --- Property-based equivalence over random small specs ------------------
+
+func qmix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// quickSpec is a randomized-but-deterministic protocol: every control
+// decision is a hash of the transcript so far (and the compile-relevant
+// arguments), so the spec is a consistent pure function of its inputs
+// while exercising varied speakers, alphabets, point masses, zero-mass
+// symbols and ragged bit widths.
+type quickSpec struct {
+	k, inputSize, alphabet, rounds int
+	seed                           uint64
+}
+
+func (s quickSpec) fold(t core.Transcript) uint64 {
+	h := s.seed
+	for _, m := range t {
+		h = qmix(h + uint64(m) + 0x9e3779b97f4a7c15)
+	}
+	return h
+}
+
+func (s quickSpec) NumPlayers() int { return s.k }
+func (s quickSpec) InputSize() int  { return s.inputSize }
+
+func (s quickSpec) NextSpeaker(t core.Transcript) (int, bool, error) {
+	if len(t) >= s.rounds {
+		return 0, true, nil
+	}
+	return int(qmix(s.fold(t)+1) % uint64(s.k)), false, nil
+}
+
+func (s quickSpec) MessageAlphabet(t core.Transcript) (int, error) { return s.alphabet, nil }
+
+func (s quickSpec) MessageDist(t core.Transcript, player, input int) (prob.Dist, error) {
+	h := qmix(s.fold(t) + uint64(input)*1000003 + 2)
+	if h%5 == 0 {
+		return prob.Point(s.alphabet, int(h>>8)%s.alphabet)
+	}
+	w := make([]float64, s.alphabet)
+	for i := range w {
+		w[i] = float64(1 + (h>>(7*uint(i)+3))%16)
+	}
+	if h%7 == 0 {
+		w[int(h>>40)%s.alphabet] = 0 // exercise zero-mass symbol pruning
+	}
+	return prob.Normalize(w)
+}
+
+func (s quickSpec) MessageBits(t core.Transcript, symbol int) (int, error) {
+	return 1 + int(qmix(s.fold(t)+uint64(symbol)+3)%2), nil
+}
+
+func (s quickSpec) Output(t core.Transcript) (int, error) {
+	return int(qmix(s.fold(t)+4) % 3), nil
+}
+
+func (s quickSpec) IRKey() string {
+	return fmt.Sprintf("quicktest.spec/%d,%d,%d,%d,%x", s.k, s.inputSize, s.alphabet, s.rounds, s.seed)
+}
+
+// quickPrior is the matching randomized prior: hashed aux weights and
+// per-(z, player) conditionals, with occasional point masses.
+type quickPrior struct {
+	k, inputSize, auxSize int
+	seed                  uint64
+}
+
+func (p quickPrior) NumPlayers() int { return p.k }
+func (p quickPrior) InputSize() int  { return p.inputSize }
+func (p quickPrior) AuxSize() int    { return p.auxSize }
+
+func (p quickPrior) AuxProb(z int) float64 {
+	return float64(1 + qmix(p.seed+uint64(z)*13+5)%8)
+}
+
+func (p quickPrior) PlayerDist(z, player int) (prob.Dist, error) {
+	h := qmix(p.seed + uint64(z)*101 + uint64(player)*10007 + 6)
+	if h%6 == 0 {
+		return prob.Point(p.inputSize, int(h>>8)%p.inputSize)
+	}
+	w := make([]float64, p.inputSize)
+	for i := range w {
+		w[i] = float64(1 + (h>>(9*uint(i)+1))%9)
+	}
+	return prob.Normalize(w)
+}
+
+func (p quickPrior) IRKey() string {
+	return fmt.Sprintf("quicktest.prior/%d,%d,%d,%x", p.k, p.inputSize, p.auxSize, p.seed)
+}
+
+// TestIRQuickCompileDynamicEquivalence is the property-based half of the
+// harness: for random small (spec, prior) pairs, the compiled engine
+// must serve every sample (all shapes here are within the gates) and
+// produce the bit-identical estimate to the scalar dynamic engine, and
+// the compiled transcript sampler must match the dynamic walk draw for
+// draw.
+func TestIRQuickCompileDynamicEquivalence(t *testing.T) {
+	property := func(seed uint64) bool {
+		spec := quickSpec{
+			k:         1 + int(qmix(seed)%3),
+			inputSize: 2 + int(qmix(seed+1)%3),
+			alphabet:  2 + int(qmix(seed+2)%2),
+			rounds:    1 + int(qmix(seed+3)%3),
+			seed:      seed,
+		}
+		prior := quickPrior{
+			k:         spec.k,
+			inputSize: spec.inputSize,
+			auxSize:   1 + int(qmix(seed+4)%3),
+			seed:      seed,
+		}
+		const samples = 150
+		col := telemetry.NewCollector()
+		compiled, err := core.EstimateCICOpts(spec, prior, rng.New(seed), samples,
+			core.EstimateOptions{Workers: 2, Recorder: col})
+		if err != nil {
+			t.Logf("seed %x: compiled estimate: %v", seed, err)
+			return false
+		}
+		if got := col.Snapshot()[telemetry.CoreCICIRSamples]; got != samples {
+			t.Logf("seed %x: IR engine served %v samples, want %d", seed, got, samples)
+			return false
+		}
+		scalar, err := core.EstimateCICOpts(spec, prior, rng.New(seed), samples,
+			core.EstimateOptions{Workers: 2, DisableIR: true, DisableLanes: true})
+		if err != nil {
+			t.Logf("seed %x: scalar estimate: %v", seed, err)
+			return false
+		}
+		if *compiled != *scalar {
+			t.Logf("seed %x: compiled %+v != scalar %+v", seed, compiled, scalar)
+			return false
+		}
+		if math.IsNaN(compiled.Mean) || compiled.MeanBits <= 0 {
+			t.Logf("seed %x: degenerate estimate %+v", seed, compiled)
+			return false
+		}
+		x := make([]int, spec.k)
+		for i := range x {
+			x[i] = int(qmix(seed+uint64(i)+7) % uint64(spec.inputSize))
+		}
+		fast, slow := rng.New(seed+8), rng.New(seed+8)
+		fm, sm := fast.Mark(), slow.Mark()
+		ft, fl, err := core.SampleTranscript(spec, x, fast)
+		if err != nil {
+			t.Logf("seed %x: compiled transcript: %v", seed, err)
+			return false
+		}
+		st, sl, err := core.SampleTranscript(plainSpec{spec}, x, slow)
+		if err != nil {
+			t.Logf("seed %x: dynamic transcript: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(ft, st) || !reflect.DeepEqual(fl.Q, sl.Q) ||
+			fl.Bits != sl.Bits || fl.Output != sl.Output ||
+			fast.DrawsSince(fm) != slow.DrawsSince(sm) {
+			t.Logf("seed %x: transcript walk diverged: %v vs %v", seed, ft, st)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"broadcastic/internal/batch"
+	"broadcastic/internal/ir"
 	"broadcastic/internal/prob"
 	"broadcastic/internal/rng"
 )
@@ -43,16 +44,24 @@ import (
 // across shards (safe for concurrent workers).
 type lanePlan struct {
 	ls   batch.LaneSpec
-	lp   batch.LanePrior
+	lp   batch.LanePrior // nil when rowTable was fed by a compiled program
 	zd   prob.Dist
 	rows []batch.TwoPoint
+	// rowTable, when non-nil, maps (z, player) to the row index directly:
+	// auxSize×k, built once at plan time — from the compiled ir.Program's
+	// tables when one is supplied, by walking LaneRowsOf otherwise — so
+	// the sample loop skips the per-sample LaneRowsOf interface call.
+	rowTable []uint8
 }
 
 // newLanePlan returns the lane plan for (spec, prior), or nil when any
 // eligibility condition fails — nil means "use the scalar engine", never
 // an error. The conditions mirror exactly what the bit-identity argument
-// above needs; validateShapes has already run.
-func newLanePlan(spec Spec, prior Prior) *lanePlan {
+// above needs; validateShapes has already run. A non-nil prog (a compiled
+// estimator program for the same pair) supplies the auxiliary
+// distribution and conditional rows from its tables, cutting every
+// interface call out of plan construction.
+func newLanePlan(spec Spec, prior Prior, prog *ir.Program) *lanePlan {
 	kern, ok := spec.(batch.Kernel)
 	if !ok {
 		return nil
@@ -69,6 +78,21 @@ func newLanePlan(spec Spec, prior Prior) *lanePlan {
 	// replicate that error surface.
 	if ls.SpeakCap > defaultMaxDepth {
 		return nil
+	}
+	if prog != nil {
+		zd, rowsD, rowTable, ok := prog.EstimatorRows()
+		if !ok || len(rowsD) == 0 {
+			return nil
+		}
+		rows := make([]batch.TwoPoint, len(rowsD))
+		for i, row := range rowsD {
+			tp, err := batch.MakeTwoPoint(row)
+			if err != nil {
+				return nil
+			}
+			rows[i] = tp
+		}
+		return &lanePlan{ls: ls, zd: zd, rows: rows, rowTable: rowTable}
 	}
 	lp, ok := prior.(batch.LanePrior)
 	if !ok {
@@ -90,7 +114,15 @@ func newLanePlan(spec Spec, prior Prior) *lanePlan {
 	if err != nil {
 		return nil // the scalar shard will surface the error
 	}
-	return &lanePlan{ls: ls, lp: lp, zd: zd, rows: rows}
+	plan := &lanePlan{ls: ls, lp: lp, zd: zd, rows: rows}
+	if auxSize := prior.AuxSize(); auxSize >= 1 && auxSize <= 1<<20/ls.Players {
+		rt := make([]uint8, auxSize*ls.Players)
+		for z := 0; z < auxSize; z++ {
+			lp.LaneRowsOf(z, rt[z*ls.Players:(z+1)*ls.Players])
+		}
+		plan.rowTable = rt
+	}
+	return plan
 }
 
 // laneScratch is the lane engine's per-shard buffer pair: the prefetched
@@ -134,12 +166,18 @@ func laneShard(plan *lanePlan, src *rng.Source, count int) cicPartial {
 		// length is known (point-mass messages ignore their uniform).
 		src.Uint64s(sc.raw)
 		z := plan.zd.SampleU(rng.U01(sc.raw[0]))
-		plan.lp.LaneRowsOf(z, sc.rowIdx)
+		rowIdx := sc.rowIdx
+		if plan.rowTable != nil {
+			k := plan.ls.Players
+			rowIdx = plan.rowTable[z*k : z*k+k]
+		} else {
+			plan.lp.LaneRowsOf(z, rowIdx)
+		}
 
 		inner := 0.0
 		steps := 0
 		for i := 0; i < speakCap; i++ {
-			r := &rows[sc.rowIdx[i]]
+			r := &rows[rowIdx[i]]
 			steps++
 			// Row mass sums to exactly 1 and uniforms live in [0,1), so
 			// the two-point threshold never reaches the fallback branch:

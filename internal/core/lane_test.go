@@ -133,7 +133,7 @@ func TestLaneShardMatchesScalarShard(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			spec := newLaneFixtureSpec(t, tc.k, tc.cap, tc.halt)
 			prior := newTwoRowPrior(t, tc.k, 0.75)
-			plan := newLanePlan(spec, prior)
+			plan := newLanePlan(spec, prior, nil)
 			if plan == nil {
 				t.Fatal("lane plan unexpectedly ineligible")
 			}
@@ -166,17 +166,17 @@ func TestLaneShardMatchesScalarShard(t *testing.T) {
 // error.
 func TestLanePlanEligibility(t *testing.T) {
 	prior := newTwoRowPrior(t, 6, 0.75)
-	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), prior) == nil {
+	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), prior, nil) == nil {
 		t.Fatal("certified spec with two-point prior should be lane-eligible")
 	}
-	if newLanePlan(newNoisySpec(t, 6), prior) != nil {
+	if newLanePlan(newNoisySpec(t, 6), prior, nil) != nil {
 		t.Fatal("spec without a lane kernel must fall back to scalar")
 	}
-	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), newMixturePrior(t, 6)) != nil {
+	if newLanePlan(newLaneFixtureSpec(t, 6, 6, true), newMixturePrior(t, 6), nil) != nil {
 		t.Fatal("prior without lane rows must fall back to scalar")
 	}
 	deep := newLaneFixtureSpec(t, defaultMaxDepth+1, defaultMaxDepth+1, true)
-	if newLanePlan(deep, newTwoRowPrior(t, defaultMaxDepth+1, 0.75)) != nil {
+	if newLanePlan(deep, newTwoRowPrior(t, defaultMaxDepth+1, 0.75), nil) != nil {
 		t.Fatal("speak cap beyond the scalar depth limit must fall back to scalar")
 	}
 }
@@ -188,7 +188,7 @@ func TestLaneSampleLoopZeroAllocs(t *testing.T) {
 	const k = 16
 	spec := newLaneFixtureSpec(t, k, k, true)
 	prior := newTwoRowPrior(t, k, 0.75)
-	plan := newLanePlan(spec, prior)
+	plan := newLanePlan(spec, prior, nil)
 	if plan == nil {
 		t.Fatal("lane plan unexpectedly ineligible")
 	}

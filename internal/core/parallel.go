@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
+	"broadcastic/internal/ir"
 	"broadcastic/internal/prob"
 )
 
@@ -22,6 +25,22 @@ import (
 type ParallelSpec struct {
 	base   Spec
 	copies int
+	memos  sync.Pool // *splitMemo
+}
+
+// splitMemo caches the split-walk state at the end of one transcript, so
+// sequential stepping (each call's transcript extending the last) resumes
+// in O(1) amortized base.NextSpeaker calls instead of replaying the whole
+// prefix — the difference between O(L) and O(L²) interface calls per
+// dynamic protocol walk. c and start are the copy executing at len(t) and
+// the index where its local transcript begins (c == copies when every
+// copy finished). Memos are pooled, never shared mid-call, and validated
+// by an integer prefix compare, so a mismatching transcript just falls
+// back to the from-scratch walk with identical results.
+type splitMemo struct {
+	t     []int
+	c     int
+	start int
 }
 
 // NewParallelSpec wraps a base spec into its n-fold parallel version. The
@@ -58,30 +77,56 @@ func (p *ParallelSpec) InputSize() int {
 
 // split replays the combined transcript, returning the index of the copy
 // currently executing and that copy's own transcript so far. done reports
-// that every copy has finished.
+// that every copy has finished. A pooled memo of the previous call's walk
+// state makes sequential stepping O(1) amortized: only the transcript's
+// new suffix is walked through the base spec.
 func (p *ParallelSpec) split(t Transcript) (copyIdx int, sub Transcript, done bool, err error) {
-	pos := 0
-	for c := 0; c < p.copies; c++ {
-		var local Transcript
+	m, _ := p.memos.Get().(*splitMemo)
+	if m == nil {
+		m = &splitMemo{}
+	}
+	c, start, pos := 0, 0, 0
+	if n := len(m.t); n <= len(t) && prefixEq(m.t, t) {
+		c, start, pos = m.c, m.start, n
+	}
+	for c < p.copies {
 		for {
-			_, finished, err := p.base.NextSpeaker(local)
+			_, finished, err := p.base.NextSpeaker(t[start:pos])
 			if err != nil {
+				p.memos.Put(m)
 				return 0, nil, false, err
 			}
 			if finished {
 				break
 			}
 			if pos == len(t) {
-				return c, local, false, nil
+				m.t = append(m.t[:0], t...)
+				m.c, m.start = c, start
+				p.memos.Put(m)
+				return c, t[start:pos], false, nil
 			}
-			local = append(local, t[pos])
 			pos++
 		}
+		c++
+		start = pos
 	}
 	if pos != len(t) {
+		p.memos.Put(m)
 		return 0, nil, false, fmt.Errorf("core: parallel transcript continues past final copy")
 	}
+	m.t = append(m.t[:0], t...)
+	m.c, m.start = c, start
+	p.memos.Put(m)
 	return p.copies, nil, true, nil
+}
+
+func prefixEq(prefix []int, t Transcript) bool {
+	for i, v := range prefix {
+		if t[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // digit extracts copy c's input from a tuple value.
@@ -173,6 +218,22 @@ func (p *ParallelSpec) Output(t Transcript) (int, error) {
 	return out, nil
 }
 
+// IRKey composes the base spec's compiled-IR identity with the copy
+// count. An unkeyed base (no IRKey, or an empty one) makes the wrapper
+// unkeyed too — "" by convention — since the wrapper's behavior cannot be
+// named without naming the base's.
+func (p *ParallelSpec) IRKey() string {
+	bk, ok := p.base.(ir.Keyer)
+	if !ok {
+		return ""
+	}
+	base := bk.IRKey()
+	if base == "" {
+		return ""
+	}
+	return "core.par/" + strconv.Itoa(p.copies) + "(" + base + ")"
+}
+
 var _ Spec = (*ParallelSpec)(nil)
 
 // ProductOfPriors is the n-fold product of a base prior: inputs are tuples
@@ -262,6 +323,20 @@ func (p *ProductOfPriors) PlayerDist(z, player int) (prob.Dist, error) {
 		w[v] = pr
 	}
 	return prob.NewDist(w)
+}
+
+// IRKey composes the base prior's compiled-IR identity with the copy
+// count, mirroring ParallelSpec.IRKey.
+func (p *ProductOfPriors) IRKey() string {
+	bk, ok := p.base.(ir.Keyer)
+	if !ok {
+		return ""
+	}
+	base := bk.IRKey()
+	if base == "" {
+		return ""
+	}
+	return "core.prodprior/" + strconv.Itoa(p.copies) + "(" + base + ")"
 }
 
 var _ Prior = (*ProductOfPriors)(nil)

@@ -2,6 +2,7 @@ package disj
 
 import (
 	"fmt"
+	"strconv"
 
 	"broadcastic/internal/core"
 	"broadcastic/internal/prob"
@@ -120,6 +121,14 @@ func (s *SequentialSpec) Output(t core.Transcript) (int, error) {
 		return 0, fmt.Errorf("disj: output of non-final transcript")
 	}
 	return output, nil
+}
+
+// IRKey names the protocol for the compiled-IR program cache (see
+// internal/ir.Keyer). Large n still keys fine — the compiler's input-size
+// gate (2^n values per player) simply refuses, the refusal is cached, and
+// the estimator keeps its dynamic path.
+func (s *SequentialSpec) IRKey() string {
+	return "disj.seq/" + strconv.Itoa(s.n) + "," + strconv.Itoa(s.k)
 }
 
 var _ core.Spec = (*SequentialSpec)(nil)

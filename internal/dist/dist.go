@@ -19,6 +19,8 @@ package dist
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"broadcastic/internal/prob"
 	"broadcastic/internal/rng"
@@ -66,6 +68,10 @@ func (m *Mu) AuxProb(z int) float64 {
 	}
 	return 1 / float64(m.k)
 }
+
+// IRKey names the prior for the compiled-IR program cache (see
+// internal/ir.Keyer): μ is fully determined by k.
+func (m *Mu) IRKey() string { return "dist.mu/" + strconv.Itoa(m.k) }
 
 // PlayerDist returns the distribution of X_i conditioned on Z = z:
 // a point mass on 0 for the special player, Bernoulli(1 − 1/k) otherwise.
@@ -229,6 +235,12 @@ func (m *MuN) AuxProb(z int) float64 {
 		return 0
 	}
 	return 1 / float64(m.AuxSize())
+}
+
+// IRKey names the prior for the compiled-IR program cache: μ^n is fully
+// determined by (k, n).
+func (m *MuN) IRKey() string {
+	return "dist.mun/" + strconv.Itoa(m.mu.k) + "," + strconv.Itoa(m.n)
 }
 
 // PlayerDist returns the distribution of player i's n-bit input conditioned
@@ -395,6 +407,26 @@ func (p *ProductPrior) PlayerDist(z, player int) (prob.Dist, error) {
 		return prob.Dist{}, fmt.Errorf("dist: player %d outside [0,%d)", player, len(p.marginals))
 	}
 	return p.marginals[player], nil
+}
+
+// IRKey names the prior for the compiled-IR program cache: the marginals
+// enter as their exact float64 bit patterns, so two product priors share
+// a program only when every probability is bit-identical.
+func (p *ProductPrior) IRKey() string {
+	var b strings.Builder
+	b.WriteString("dist.prod/")
+	for i, m := range p.marginals {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for v := 0; v < m.Size(); v++ {
+			if v > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(math.Float64bits(m.P(v)), 16))
+		}
+	}
+	return b.String()
 }
 
 // Sample draws one input per player.

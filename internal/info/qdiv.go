@@ -1,0 +1,48 @@
+package info
+
+import (
+	"fmt"
+	"math"
+)
+
+// QDivergenceSum evaluates the estimator's exact inner quantity
+// Σ_i D(posterior_i ‖ prior_i) from bare per-player q-factor rows and
+// prior rows (Lemma 3 factorization): player i's posterior at the leaf is
+// prior_i(v)·q_i(v) normalized over v. Both the scalar Monte-Carlo path
+// (core) and the compiled-IR leaf tables call this one function, so the
+// two paths agree bit for bit by sharing the same float operations in the
+// same order — not by replicating them.
+func QDivergenceSum(q [][]float64, priors [][]float64) (float64, error) {
+	total := 0.0
+	for i, row := range q {
+		pr := priors[i]
+		if len(pr) > len(row) {
+			return 0, fmt.Errorf("info: prior domain %d exceeds leaf domain %d", len(pr), len(row))
+		}
+		norm := 0.0
+		for v, pv := range pr {
+			norm += pv * row[v]
+		}
+		if norm == 0 {
+			// The leaf is unreachable under this player's prior; the caller
+			// weights it by probability zero, so its divergence is moot.
+			continue
+		}
+		d := 0.0
+		for v, pv := range pr {
+			post := pv * row[v] / norm
+			if post == 0 {
+				continue
+			}
+			if pv == 0 {
+				return 0, fmt.Errorf("info: posterior mass on zero-prior input %d of player %d", v, i)
+			}
+			d += post * math.Log2(post/pv)
+		}
+		if d < 0 && d > -1e-12 {
+			d = 0
+		}
+		total += d
+	}
+	return total, nil
+}

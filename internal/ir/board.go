@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"fmt"
+
+	"broadcastic/internal/blackboard"
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/rng"
+)
+
+// BoardExec instantiates a compiled program on concrete inputs as a
+// blackboard scheduler and players — the table-driven counterpart of
+// core.SpecProtocol. The program must be FixedWidth (the blackboard
+// bridge encodes each symbol in exactly ⌈log₂ alphabet⌉ bits), and a nil
+// private source additionally requires Deterministic — the same two
+// conditions under which the dynamic bridge succeeds without error, so
+// callers gate on them and fall back to the dynamic bridge otherwise.
+//
+// Draw discipline matches the dynamic bridge exactly: with a private
+// source, every message consumes one uniform (even point masses, whose
+// outcome ignores it); with nil private, no draws occur.
+//
+// A BoardExec is single-use and not concurrency-safe, mirroring
+// SpecProtocol.
+type BoardExec struct {
+	p       *Program
+	x       []int
+	private *rng.Source
+	node    int32
+	t       []int
+}
+
+// NewBoardExec binds a compiled program to the players' inputs.
+func NewBoardExec(p *Program, x []int, private *rng.Source) (*BoardExec, error) {
+	if len(x) != p.k {
+		return nil, fmt.Errorf("ir: input has %d entries, want %d", len(x), p.k)
+	}
+	for i, v := range x {
+		if v < 0 || v >= p.inputSize {
+			return nil, fmt.Errorf("ir: input x[%d]=%d outside domain of size %d", i, v, p.inputSize)
+		}
+	}
+	if !p.fixedWidth {
+		return nil, fmt.Errorf("ir: program is not fixed-width encodable")
+	}
+	if private == nil && !p.deterministic {
+		return nil, fmt.Errorf("ir: randomized program needs a private randomness source")
+	}
+	return &BoardExec{p: p, x: x, private: private, node: p.root}, nil
+}
+
+// Scheduler returns the blackboard scheduler driving the program: the
+// current table state decides the speaker, exactly as the board contents
+// decide it in the model (the decoded transcript and the state are the
+// same information).
+func (e *BoardExec) Scheduler() blackboard.Scheduler {
+	return blackboard.FuncScheduler(func(b *blackboard.Board) (int, bool, error) {
+		if e.node < 0 {
+			return 0, true, nil
+		}
+		return int(e.p.speaker[e.node]), false, nil
+	})
+}
+
+// Players returns the blackboard players, one per input entry.
+func (e *BoardExec) Players() []blackboard.Player {
+	players := make([]blackboard.Player, e.p.k)
+	for i := range players {
+		i := i
+		players[i] = blackboard.FuncPlayer(func(b *blackboard.Board) (blackboard.Message, error) {
+			return e.speak(i)
+		})
+	}
+	return players
+}
+
+func (e *BoardExec) speak(i int) (blackboard.Message, error) {
+	st := e.node
+	if st < 0 {
+		return blackboard.Message{}, fmt.Errorf("ir: speak on a finished program")
+	}
+	p := e.p
+	md := &p.pool[p.msgDist[int(p.distBase[st])+e.x[i]]]
+	var sym int32
+	if e.private != nil {
+		// One uniform per message, exactly like prob.Dist.Sample.
+		u := e.private.Float64()
+		if md.det >= 0 {
+			sym = md.det
+		} else {
+			sym = sampleCum(md.cum, md.last, u)
+		}
+	} else {
+		sym = md.det
+	}
+	var w encoding.BitWriter
+	if err := w.WriteBits(uint64(sym), int(p.width[st])); err != nil {
+		return blackboard.Message{}, err
+	}
+	e.t = append(e.t, int(sym))
+	e.node = p.edges[int(p.transBase[st])+int(sym)]
+	return blackboard.NewMessage(i, &w), nil
+}
+
+// Transcript returns the symbols emitted so far.
+func (e *BoardExec) Transcript() []int { return e.t }
+
+// Output returns the program's output once the execution has finished.
+func (e *BoardExec) Output() (int, error) {
+	if e.node >= 0 {
+		return 0, fmt.Errorf("ir: output of an unfinished execution")
+	}
+	return int(e.p.leafOut[-e.node-1]), nil
+}

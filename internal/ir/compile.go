@@ -1,0 +1,408 @@
+package ir
+
+import (
+	"encoding/binary"
+	"math"
+
+	"broadcastic/internal/encoding"
+	"broadcastic/internal/info"
+	"broadcastic/internal/prob"
+)
+
+// CompileSpec flattens spec into a control-surface Program (states,
+// transitions, leaf table), or returns nil when spec is outside the
+// eligibility gates or errors while being walked. nil always means "use
+// the dynamic path" — the dynamic engine surfaces the identical error or
+// handles the identical big instance, so callers never lose behavior.
+func CompileSpec(spec Spec) *Program {
+	c := newCompiler(spec)
+	if c == nil {
+		return nil
+	}
+	root, ok := c.walk(nil, 0)
+	if !ok {
+		return nil
+	}
+	return c.finish(root)
+}
+
+// CompileEstimator is CompileSpec plus the prior-dependent tables: the
+// auxiliary sampler, per-(z, player) conditional pool ids, and the
+// precomputed inner divergence table inner[z][leaf] =
+// Σ_i D(posterior_i ‖ prior_i) — the exact value the dynamic estimator
+// computes at a sampled leaf, built through the same info.QDivergenceSum
+// on the same q-factor and prior rows.
+func CompileEstimator(spec Spec, prior Prior) *Program {
+	if spec.NumPlayers() != prior.NumPlayers() || spec.InputSize() != prior.InputSize() {
+		return nil
+	}
+	c := newCompiler(spec)
+	if c == nil {
+		return nil
+	}
+	root, ok := c.walk(nil, 0)
+	if !ok {
+		return nil
+	}
+	p := c.finish(root)
+	if p == nil || !c.extendEstimator(p, prior) {
+		return nil
+	}
+	return p
+}
+
+// compiler accumulates the flat tables during the transcript-tree walk.
+// The walk mirrors core.EnumerateTranscripts exactly — same q-factor
+// multiply order, same reachability pruning — so the compiled leaf set
+// and its float annotations match dynamic enumeration bit for bit.
+type compiler struct {
+	spec      Spec
+	k         int
+	inputSize int
+
+	speaker    []int32
+	alphabet   []int32
+	width      []int32
+	distBase   []int32
+	transBase  []int32
+	msgDist    []int32
+	edges      []int32
+	symBits    []int32
+	fused      []int32
+	leafBits   []int32
+	leafOut    []int32
+	leafDepth  []int32
+	leafSymOff []int32
+	leafSyms   []int32
+	leafQ      []float64
+
+	pool    []poolDist
+	poolIdx map[string]int32
+
+	q    [][]float64
+	seen []bool // players who spoke on the current root-to-state path
+
+	fixedWidth    bool
+	deterministic bool
+	speakOnce     bool
+}
+
+func newCompiler(spec Spec) *compiler {
+	k, inputSize := spec.NumPlayers(), spec.InputSize()
+	if k < 1 || inputSize < 1 || inputSize > maxInputSize {
+		return nil
+	}
+	c := &compiler{
+		spec:          spec,
+		k:             k,
+		inputSize:     inputSize,
+		poolIdx:       make(map[string]int32, 16),
+		q:             make([][]float64, k),
+		seen:          make([]bool, k),
+		leafSymOff:    []int32{0},
+		fixedWidth:    true,
+		deterministic: true,
+		speakOnce:     true,
+	}
+	for i := range c.q {
+		c.q[i] = make([]float64, inputSize)
+		for v := range c.q[i] {
+			c.q[i][v] = 1
+		}
+	}
+	return c
+}
+
+// intern deduplicates a distribution into the pool, keyed by the exact
+// float64 bit patterns of its probability vector.
+func (c *compiler) intern(d prob.Dist) int32 {
+	p := d.Probs()
+	key := make([]byte, 8*len(p))
+	for i, v := range p {
+		binary.LittleEndian.PutUint64(key[i*8:], math.Float64bits(v))
+	}
+	if id, ok := c.poolIdx[string(key)]; ok {
+		return id
+	}
+	cum := make([]float64, len(p))
+	acc := 0.0
+	last := int32(len(p) - 1)
+	positive := 0
+	det := int32(-1)
+	for i, v := range p {
+		acc += v
+		cum[i] = acc
+		if v > 0 {
+			last = int32(i)
+			positive++
+			det = int32(i)
+		}
+	}
+	if positive != 1 {
+		det = -1
+	}
+	id := int32(len(c.pool))
+	c.pool = append(c.pool, poolDist{cum: cum, last: last, det: det, dist: d})
+	c.poolIdx[string(key)] = id
+	return id
+}
+
+// walk compiles the subtree rooted at transcript t, with bits the charge
+// accumulated so far, and returns its encoded node. ok=false aborts the
+// whole compilation (gate exceeded or spec error).
+func (c *compiler) walk(t []int, bits int) (node int32, ok bool) {
+	if len(t) > maxDepth {
+		return 0, false
+	}
+	speaker, done, err := c.spec.NextSpeaker(t)
+	if err != nil {
+		return 0, false
+	}
+	if done {
+		return c.emitLeaf(t, bits)
+	}
+	if speaker < 0 || speaker >= c.k {
+		return 0, false
+	}
+	alphabet, err := c.spec.MessageAlphabet(t)
+	if err != nil || alphabet < 1 {
+		return 0, false
+	}
+	if len(c.speaker) >= maxStates ||
+		(len(c.speaker)+1)*c.inputSize > maxDistCells ||
+		len(c.edges)+alphabet > maxEdges {
+		return 0, false
+	}
+
+	// Per-input message distributions of the speaker at this state.
+	distRow := make([]int32, c.inputSize)
+	dists := make([][]float64, c.inputSize)
+	for v := 0; v < c.inputSize; v++ {
+		d, err := c.spec.MessageDist(t, speaker, v)
+		if err != nil || d.Size() != alphabet {
+			return 0, false
+		}
+		id := c.intern(d)
+		distRow[v] = id
+		if c.pool[id].det < 0 {
+			c.deterministic = false
+		}
+		dists[v] = c.pool[id].dist.Probs()
+	}
+
+	state := int32(len(c.speaker))
+	width := int32(encoding.FixedWidth(uint64(alphabet)))
+	c.speaker = append(c.speaker, int32(speaker))
+	c.alphabet = append(c.alphabet, int32(alphabet))
+	c.width = append(c.width, width)
+	c.distBase = append(c.distBase, int32(len(c.msgDist)))
+	c.msgDist = append(c.msgDist, distRow...)
+	transBase := int32(len(c.edges))
+	c.transBase = append(c.transBase, transBase)
+	for sym := 0; sym < alphabet; sym++ {
+		c.edges = append(c.edges, nodeNone)
+		c.symBits = append(c.symBits, 0)
+	}
+	// Reserve this state's fused row now: states are numbered in preorder,
+	// so the row must sit at state*inputSize before recursion allocates
+	// child states. The cells are filled after the children exist.
+	for v := 0; v < c.inputSize; v++ {
+		c.fused = append(c.fused, nodeNone)
+	}
+
+	if c.seen[speaker] {
+		c.speakOnce = false
+	}
+	savedSeen := c.seen[speaker]
+	c.seen[speaker] = true
+
+	saved := make([]float64, c.inputSize)
+	copy(saved, c.q[speaker])
+	for sym := 0; sym < alphabet; sym++ {
+		// Update the speaker's q-row; prune symbols no input can emit
+		// along this prefix (the same rule dynamic enumeration applies).
+		reachable := false
+		for v := 0; v < c.inputSize; v++ {
+			c.q[speaker][v] = saved[v] * dists[v][sym]
+			if c.q[speaker][v] > 0 {
+				reachable = true
+			}
+		}
+		if !reachable {
+			continue
+		}
+		sb, err := c.spec.MessageBits(t, sym)
+		if err != nil || sb < 0 {
+			return 0, false
+		}
+		if int32(sb) != width {
+			c.fixedWidth = false
+		}
+		child, ok := c.walk(append(t, sym), bits+sb)
+		if !ok {
+			return 0, false
+		}
+		c.edges[int(transBase)+sym] = child
+		c.symBits[int(transBase)+sym] = int32(sb)
+	}
+	copy(c.q[speaker], saved)
+	c.seen[speaker] = savedSeen
+
+	// Fused transitions: when input v's message is a point mass, one
+	// table load replaces the whole sample-and-branch step.
+	for v := 0; v < c.inputSize; v++ {
+		if det := c.pool[distRow[v]].det; det >= 0 {
+			c.fused[int(state)*c.inputSize+v] = c.edges[int(transBase)+int(det)]
+		}
+	}
+	return state, true
+}
+
+func (c *compiler) emitLeaf(t []int, bits int) (int32, bool) {
+	leaf := len(c.leafBits)
+	if (leaf+1)*c.k*c.inputSize > maxLeafQCells {
+		return 0, false
+	}
+	out, err := c.spec.Output(t)
+	if err != nil {
+		return 0, false
+	}
+	c.leafBits = append(c.leafBits, int32(bits))
+	c.leafOut = append(c.leafOut, int32(out))
+	c.leafDepth = append(c.leafDepth, int32(len(t)))
+	for _, s := range t {
+		c.leafSyms = append(c.leafSyms, int32(s))
+	}
+	c.leafSymOff = append(c.leafSymOff, int32(len(c.leafSyms)))
+	for i := 0; i < c.k; i++ {
+		c.leafQ = append(c.leafQ, c.q[i]...)
+	}
+	return int32(-(leaf + 1)), true
+}
+
+func (c *compiler) finish(root int32) *Program {
+	if len(c.leafBits) == 0 {
+		return nil
+	}
+	p := &Program{
+		k:             c.k,
+		inputSize:     c.inputSize,
+		numStates:     len(c.speaker),
+		numLeaves:     len(c.leafBits),
+		root:          root,
+		speaker:       c.speaker,
+		alphabet:      c.alphabet,
+		width:         c.width,
+		distBase:      c.distBase,
+		transBase:     c.transBase,
+		msgDist:       c.msgDist,
+		edges:         c.edges,
+		symBits:       c.symBits,
+		fused:         c.fused,
+		pool:          c.pool,
+		leafBits:      c.leafBits,
+		leafOut:       c.leafOut,
+		leafDepth:     c.leafDepth,
+		leafSymOff:    c.leafSymOff,
+		leafSyms:      c.leafSyms,
+		leafQ:         c.leafQ,
+		fixedWidth:    c.fixedWidth,
+		deterministic: c.deterministic,
+		speakOnce:     c.speakOnce,
+	}
+	p.leafBitsF = make([]float64, len(p.leafBits))
+	for i, b := range p.leafBits {
+		p.leafBitsF[i] = float64(b)
+	}
+	return p
+}
+
+// extendEstimator adds the prior-dependent tables to a freshly compiled
+// program. The aux sampler replicates core's auxDist (prob.Normalize over
+// AuxProb weights); the inner table is built by info.QDivergenceSum on
+// the exact q-factor and prior-probability rows the dynamic estimator
+// would hand it, so the values are shared-code identical.
+func (c *compiler) extendEstimator(p *Program, prior Prior) bool {
+	auxSize := prior.AuxSize()
+	if auxSize < 1 || auxSize*p.k > maxAuxCells || auxSize*p.numLeaves > maxAuxCells {
+		return false
+	}
+	w := make([]float64, auxSize)
+	for z := range w {
+		w[z] = prior.AuxProb(z)
+	}
+	zd, err := prob.Normalize(w)
+	if err != nil {
+		return false
+	}
+	p.zd = zd
+	zp := zd.Probs()
+	p.auxCum = make([]float64, auxSize)
+	acc := 0.0
+	p.auxLast = int32(auxSize - 1)
+	positive := 0
+	p.auxDet = -1
+	for z, v := range zp {
+		acc += v
+		p.auxCum[z] = acc
+		if v > 0 {
+			p.auxLast = int32(z)
+			positive++
+			p.auxDet = int32(z)
+		}
+	}
+	if positive != 1 {
+		p.auxDet = -1
+	}
+
+	p.priorDist = make([]int32, auxSize*p.k)
+	for z := 0; z < auxSize; z++ {
+		for i := 0; i < p.k; i++ {
+			d, err := prior.PlayerDist(z, i)
+			if err != nil || d.Size() > p.inputSize {
+				return false
+			}
+			p.priorDist[z*p.k+i] = c.intern(d)
+		}
+	}
+	p.pool = c.pool // intern may have grown the pool
+
+	// Binary-input conditionals flatten to two-compare threshold rows,
+	// unlocking the pool-free shard loop (see Program.shardBinary).
+	if p.inputSize == 2 {
+		p.priorTwo = make([]twoPoint, len(p.priorDist))
+		for i, id := range p.priorDist {
+			pd := &p.pool[id]
+			tp := twoPoint{c0: pd.cum[0], c1: pd.cum[0], det: pd.det, last: pd.last}
+			if len(pd.cum) > 1 {
+				tp.c1 = pd.cum[1]
+			}
+			p.priorTwo[i] = tp
+		}
+	}
+
+	// Inner table: for each (z, leaf), the exact divergence sum the
+	// dynamic sample computes after landing on that leaf under that z.
+	p.inner = make([]float64, auxSize*p.numLeaves)
+	priors := make([][]float64, p.k)
+	q := make([][]float64, p.k)
+	rowSize := p.k * p.inputSize
+	for z := 0; z < auxSize; z++ {
+		for i := 0; i < p.k; i++ {
+			priors[i] = p.pool[p.priorDist[z*p.k+i]].dist.Probs()
+		}
+		for l := 0; l < p.numLeaves; l++ {
+			for i := 0; i < p.k; i++ {
+				q[i] = p.leafQ[l*rowSize+i*p.inputSize : l*rowSize+(i+1)*p.inputSize]
+			}
+			in, err := info.QDivergenceSum(q, priors)
+			if err != nil {
+				return false
+			}
+			p.inner[z*p.numLeaves+l] = in
+		}
+	}
+	p.estimator = true
+	p.auxSize = auxSize
+	return true
+}

@@ -1,0 +1,87 @@
+// Package ir compiles a declarative broadcast protocol (the Spec shape
+// defined by internal/core) together with an input prior into a flat,
+// immutable Program: a table-driven form of the protocol's entire control
+// surface — next-speaker, alphabet and bit-width per transcript state,
+// per-(state, player-input) message distributions with pre-built CDF
+// samplers, and the output, communication cost and Lemma 3 q-factors of
+// every complete transcript. Compile once, execute anywhere: the same
+// Program drives the Monte-Carlo estimator's shard loop, single
+// transcript sampling, and the blackboard runtime, with zero interface
+// calls and zero steady-state allocations.
+//
+// Bit-identity contract. Every Program execution path is pinned
+// bit-identical to the dynamic interpretation it replaces:
+//
+//   - Float semantics: the per-leaf q-factors are accumulated at compile
+//     time by the exact multiply order the dynamic walk uses
+//     (q[v] = saved[v]·P(sym|v) along the path), and the estimator's
+//     inner table is built through info.QDivergenceSum — the same
+//     function the scalar estimator calls — so the values agree by
+//     shared code, not replication.
+//   - Sampling: sampleCum replicates prob.Dist's cached binary search
+//     over the identical in-order partial sums; prob pins that search
+//     bit-equal to the linear scan, so table sampling returns the exact
+//     outcome Dist.Sample would for the same uniform.
+//   - Draw alignment: a dynamic estimator sample consumes 1+k+T uniforms
+//     (aux, k inputs, one per message even for point masses). The
+//     compiled loop reads only the positions it needs via rng.Lookahead
+//     and reconciles with one rng.Skip — same stream values, same final
+//     state, at any worker count.
+//
+// Eligibility. Compilation is gated: bounded state count (≤ 64k interior
+// states), bounded input domain, edge and table budgets, and the dynamic
+// engine's depth limit. Anything outside the gates — or any spec/prior
+// that errors while being walked — compiles to nil, and callers fall
+// back to the dynamic path, which surfaces the identical behavior.
+// DESIGN.md §13 documents the format and the full equivalence argument.
+package ir
+
+import "broadcastic/internal/prob"
+
+// Spec is the protocol shape the compiler consumes. It mirrors
+// internal/core.Spec method-for-method over bare []int transcripts so the
+// two packages need no import cycle; core adapts its Spec with a zero-cost
+// wrapper. All methods must be pure functions of their arguments.
+type Spec interface {
+	NumPlayers() int
+	InputSize() int
+	NextSpeaker(t []int) (player int, done bool, err error)
+	MessageAlphabet(t []int) (int, error)
+	MessageDist(t []int, player, input int) (prob.Dist, error)
+	MessageBits(t []int, symbol int) (int, error)
+	Output(t []int) (int, error)
+}
+
+// Prior mirrors internal/core.Prior: an input distribution whose players
+// are independent conditioned on the auxiliary variable. core.Prior
+// satisfies it structurally (no transcript appears in its signatures).
+type Prior interface {
+	NumPlayers() int
+	InputSize() int
+	AuxSize() int
+	AuxProb(z int) float64
+	PlayerDist(z, player int) (prob.Dist, error)
+}
+
+// Keyer is implemented by specs and priors that can name their own
+// semantics with a stable identity string. Only keyed (spec, prior) pairs
+// participate in the program cache — an unkeyed value would force a full
+// compile walk on every call, which could cost more than the dynamic path
+// it replaces. The key must change whenever the protocol's observable
+// behavior changes.
+type Keyer interface {
+	IRKey() string
+}
+
+// Compilation gates. A spec outside any bound compiles to nil. The depth
+// gate mirrors core's transcript-tree depth limit so a compiled program
+// can never accept a transcript the dynamic engine would refuse.
+const (
+	maxInputSize  = 4096    // immediate bail: per-(state,input) tables explode past this
+	maxStates     = 1 << 16 // interior transcript states
+	maxDistCells  = 1 << 20 // states × inputSize message-distribution cells
+	maxEdges      = 1 << 20 // Σ alphabet over states
+	maxAuxCells   = 1 << 20 // auxSize × players and auxSize × leaves
+	maxLeafQCells = 1 << 22 // leaves × players × inputSize q-factor floats
+	maxDepth      = 4096    // mirrors core's defaultMaxDepth
+)

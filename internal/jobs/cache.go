@@ -4,15 +4,21 @@ import (
 	"container/list"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"broadcastic/internal/telemetry"
 )
 
 // Cache is the content-addressed result store: an in-memory LRU over
 // rendered result bytes, keyed by JobSpec.Key, with an optional disk
-// spill directory that catches evictions. All methods are safe for
-// concurrent use.
+// spill directory. Every Put writes through to the spill, so results
+// survive process restarts: NewCache warms the LRU from the directory
+// (most recent first, up to the caps), and a restarted service answers
+// prior submissions without dispatching a worker. All methods are safe
+// for concurrent use.
 //
 // The spill is best-effort by design: a result lost to an I/O error is
 // merely recomputed, so write and read failures degrade to cache misses
@@ -36,20 +42,73 @@ type cacheEntry struct {
 
 // NewCache builds a cache holding at most entries results and, when
 // maxBytes > 0, at most that many result bytes in memory. dir, when
-// non-empty, must be an existing directory; evicted entries spill there
-// and are read back on a memory miss. rec (nil ok) receives the
-// hit/miss/eviction/bytes counters declared in telemetry/names.go.
+// non-empty, must be an existing directory; every stored result persists
+// there, spilled results are read back on a memory miss, and previously
+// spilled results are warmed into the LRU at construction. rec (nil ok)
+// receives the hit/miss/eviction/bytes counters declared in
+// telemetry/names.go.
 func NewCache(entries int, maxBytes int64, dir string, rec telemetry.Recorder) *Cache {
 	if entries < 1 {
 		entries = 1
 	}
-	return &Cache{
+	c := &Cache{
 		entries:  entries,
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
 		dir:      dir,
 		rec:      rec,
+	}
+	if dir != "" {
+		c.warmFromSpill()
+	}
+	return c
+}
+
+// warmFromSpill preloads the LRU from the spill directory at boot: the
+// most recently written results first (write-through refreshes a file on
+// every store, so mtime approximates recency), stopping at the entry and
+// byte caps. Unreadable files are skipped — they will surface as misses
+// and be recomputed.
+func (c *Cache) warmFromSpill() {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type spilled struct {
+		key  string
+		mod  time.Time
+		size int64
+	}
+	var files []spilled
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".result") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, spilled{
+			key:  strings.TrimSuffix(name, ".result"),
+			mod:  info.ModTime(),
+			size: info.Size(),
+		})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.After(files[j].mod) })
+	for _, f := range files {
+		if c.ll.Len() >= c.entries ||
+			(c.maxBytes > 0 && c.ll.Len() > 0 && c.bytes+f.size > c.maxBytes) {
+			break
+		}
+		val, err := os.ReadFile(c.spillPath(f.key))
+		if err != nil {
+			continue
+		}
+		c.byKey[f.key] = c.ll.PushBack(&cacheEntry{key: f.key, val: val})
+		c.bytes += int64(len(val))
+		telemetry.Count(c.rec, telemetry.JobsCacheBytes, int64(len(val)))
 	}
 }
 
@@ -77,9 +136,11 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores the result under key, evicting least-recently-used entries
-// (to disk, when a spill directory is configured) until the entry and
-// byte caps hold. Storing an existing key refreshes its recency.
+// Put stores the result under key — writing through to the spill
+// directory when one is configured, so the result survives restarts —
+// and evicts least-recently-used entries until the entry and byte caps
+// hold (their disk copies remain). Storing an existing key refreshes its
+// recency and its spill file's mtime.
 func (c *Cache) Put(key string, val []byte) {
 	val = append([]byte(nil), val...)
 	c.mu.Lock()
@@ -94,7 +155,6 @@ func (c *Cache) Put(key string, val []byte) {
 		c.bytes += int64(len(val))
 		telemetry.Count(c.rec, telemetry.JobsCacheBytes, int64(len(val)))
 	}
-	var spill []*cacheEntry
 	for c.ll.Len() > c.entries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
 		el := c.ll.Back()
 		ent := el.Value.(*cacheEntry)
@@ -103,34 +163,33 @@ func (c *Cache) Put(key string, val []byte) {
 		c.bytes -= int64(len(ent.val))
 		telemetry.Count(c.rec, telemetry.JobsCacheBytes, -int64(len(ent.val)))
 		telemetry.Count(c.rec, telemetry.JobsCacheEvictions, 1)
-		spill = append(spill, ent)
 	}
-	dir := c.dir
 	c.mu.Unlock()
-	for _, ent := range spill {
-		c.spillWrite(ent)
-	}
-	_ = dir
+	// Write-through outside the lock: val is this call's private copy
+	// (entries swap value slices, never mutate them), so no lock is
+	// needed and evicted entries need no separate write — their own Put
+	// already persisted them.
+	c.spillWrite(key, val)
 }
 
-// spillWrite persists an evicted entry atomically: a concurrent Get must
-// see either no file or complete bytes, never a truncated write, so the
+// spillWrite persists an entry atomically: a concurrent Get must see
+// either no file or complete bytes, never a truncated write, so the
 // value lands under a unique temp name and is renamed into place.
-func (c *Cache) spillWrite(ent *cacheEntry) {
+func (c *Cache) spillWrite(key string, val []byte) {
 	if c.dir == "" {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, ent.key+".tmp*")
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return
 	}
-	_, werr := tmp.Write(ent.val)
+	_, werr := tmp.Write(val)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		_ = os.Remove(tmp.Name())
 		return
 	}
-	if err := os.Rename(tmp.Name(), c.spillPath(ent.key)); err != nil {
+	if err := os.Rename(tmp.Name(), c.spillPath(key)); err != nil {
 		_ = os.Remove(tmp.Name())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"broadcastic/internal/telemetry"
 )
@@ -107,6 +108,63 @@ func TestCacheGetReturnsCopy(t *testing.T) {
 	again, _ := c.Get("k")
 	if string(again) != "immutable" {
 		t.Error("caller mutation reached the cached bytes")
+	}
+}
+
+func TestCacheWarmFromSpill(t *testing.T) {
+	dir := t.TempDir()
+	old := NewCache(8, 0, dir, nil)
+	old.Put("aaaa", []byte("first"))
+	old.Put("bbbb", []byte("second"))
+	old.Put("cccc", []byte("third"))
+	// Rapid writes can share an mtime; pin distinct ones so the warm
+	// order (most recent first) is deterministic in this test.
+	base := time.Now().Add(-time.Hour)
+	for i, key := range []string{"aaaa", "bbbb", "cccc"} {
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, key+".result"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	col := telemetry.NewCollector()
+	c := NewCache(2, 0, dir, col)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("warmed %d entries, want 2 (entry cap)", got)
+	}
+	// The two most recently written results are resident; no miss counter
+	// fires for them.
+	for _, key := range []string{"bbbb", "cccc"} {
+		val, ok := c.Get(key)
+		if !ok {
+			t.Fatalf("%s not warmed", key)
+		}
+		if want := map[string]string{"bbbb": "second", "cccc": "third"}[key]; string(val) != want {
+			t.Fatalf("%s = %q, want %q", key, val, want)
+		}
+	}
+	if got := col.Counter(telemetry.JobsCacheMisses); got != 0 {
+		t.Errorf("warmed reads missed %d times", got)
+	}
+	// The entry past the cap stayed on disk and is still readable.
+	if val, ok := c.Get("aaaa"); !ok || string(val) != "first" {
+		t.Fatalf("over-cap entry lost: %q, %v", val, ok)
+	}
+	if got := col.Counter(telemetry.JobsCacheDiskHits); got != 1 {
+		t.Errorf("disk hit counter = %d", got)
+	}
+	// Byte cap bounds warming too (first entry always admitted).
+	tiny := NewCache(8, 3, dir, nil)
+	if got := tiny.Len(); got != 1 {
+		t.Errorf("byte-capped warm loaded %d entries, want 1", got)
+	}
+	// Corrupt leftovers are skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "weird.tmp1234"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := NewCache(8, 0, dir, nil)
+	if _, ok := again.Get("weird"); ok {
+		t.Error("temp leftover warmed as an entry")
 	}
 }
 

@@ -103,6 +103,57 @@ func TestDeterministicCacheHit(t *testing.T) {
 	}
 }
 
+// TestRestartedServiceServesFromSpill is the cache-persistence
+// acceptance pin: a service computes a result into a spill-backed cache,
+// shuts down, and a freshly started service over the same directory
+// serves the identical result as a cache hit — born Done, no worker
+// dispatched, runner never invoked.
+func TestRestartedServiceServesFromSpill(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	counting := func(spec JobSpec, rec telemetry.Recorder, progress func(int, int)) ([]byte, error) {
+		runs.Add(1)
+		return []byte("computed-" + spec.Experiment), nil
+	}
+	spec := JobSpec{Experiment: "E10", Seed: 5, Scale: "quick"}
+
+	first := New(Options{Workers: 1, Cache: NewCache(8, 0, dir, nil),
+		BuildSHA: "build-a", Run: counting})
+	before, err := first.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = waitTerminal(t, first, before.ID)
+	if before.State != Done || before.CacheHit {
+		t.Fatalf("cold job = %+v", before)
+	}
+	first.Close()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner invoked %d times before restart, want 1", got)
+	}
+
+	col := telemetry.NewCollector()
+	second := New(Options{Workers: 1, Cache: NewCache(8, 0, dir, col),
+		BuildSHA: "build-a", Recorder: col, Run: counting})
+	defer second.Close()
+	after, err := second.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.CacheHit || after.State != Done {
+		t.Fatalf("restarted service did not serve from warm cache: %+v", after)
+	}
+	if after.Result != before.Result {
+		t.Errorf("restarted result %q != original %q", after.Result, before.Result)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner invoked %d times, want 1 (restart must not dispatch a worker)", got)
+	}
+	if got := col.Counter(telemetry.JobsCacheHits); got != 1 {
+		t.Errorf("cache hit counter = %d, want 1", got)
+	}
+}
+
 // blockingRunner parks every job until released, and records start order.
 type blockingRunner struct {
 	mu       sync.Mutex

@@ -122,6 +122,23 @@ func (s *Source) SplitN(n int) []*Source {
 	return out
 }
 
+// Lookahead returns the (n+1)-th upcoming raw 64-bit output without
+// advancing the stream: Lookahead(0) is the value the next Uint64 call
+// would return, Lookahead(1) the one after, and so on. Because every
+// output advances the state by the fixed constant gamma, the j-th
+// upcoming output is a pure function of state + (j+1)*gamma, so peeking
+// is a single multiply-add plus the finalizer. The compiled-IR executor
+// uses this to consume draws lazily (only the positions a sample actually
+// needs) and then reconcile the stream with one Skip, staying draw-aligned
+// with the scalar path.
+func (s *Source) Lookahead(n uint64) uint64 {
+	st := s.state + (n+1)*gamma
+	z := st
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Skip advances the stream past n raw 64-bit outputs in O(1), leaving the
 // state exactly where n Uint64 calls would have left it (each output
 // advances the state by the fixed constant gamma, so skipping is a single

@@ -22,6 +22,31 @@ func TestSkipMatchesDraws(t *testing.T) {
 	}
 }
 
+// TestLookaheadMatchesUint64 pins the compiled-IR executor's lazy-draw
+// primitive: Lookahead(j) must equal the j-th upcoming Uint64 output,
+// without moving the stream position.
+func TestLookaheadMatchesUint64(t *testing.T) {
+	a, b := New(77), New(77)
+	mark := a.Mark()
+	peeked := make([]uint64, 20)
+	for j := range peeked {
+		peeked[j] = a.Lookahead(uint64(j))
+	}
+	if got := a.DrawsSince(mark); got != 0 {
+		t.Fatalf("Lookahead advanced the stream by %d draws, want 0", got)
+	}
+	for j, want := range peeked {
+		if got := b.Uint64(); got != want {
+			t.Fatalf("Lookahead(%d) = %#x, but draw %d is %#x", j, want, j, got)
+		}
+	}
+	// Lookahead then Skip reconciles with sequential draws.
+	a.Skip(20)
+	if got, want := a.Uint64(), b.Uint64(); got != want {
+		t.Fatalf("after Skip(20): next output %#x, want %#x", got, want)
+	}
+}
+
 // TestU01MatchesFloat64 pins that U01 is the exact raw-output-to-uniform
 // mapping of Float64, so prefetching with Uint64s and converting through
 // U01 reproduces a Float64 sequence bit for bit.

@@ -67,6 +67,12 @@ type Config struct {
 	// bit-identical either way, so the knob exists for benchmarking and
 	// for the experiments binary's -batch flag, never for correctness.
 	DisableBatching bool
+	// DisableIR forces the interpreted engines where the compiled-IR
+	// program would otherwise serve the Monte-Carlo CIC estimator. Tables
+	// are bit-identical either way — the compile-vs-dynamic equivalence
+	// harness pins it — so the knob exists for benchmarking and for the
+	// binaries' -noir escape hatch, never for correctness.
+	DisableIR bool
 	// Params optionally overrides the experiment's sweep grid (see
 	// params.go); the zero value runs the EXPERIMENTS.md defaults.
 	Params Params
@@ -319,6 +325,7 @@ func E4AndInfoCost(cfg Config) (*Table, error) {
 				Workers:      cfg.workers(),
 				Recorder:     cfg.Recorder,
 				DisableLanes: cfg.DisableBatching,
+				DisableIR:    cfg.DisableIR,
 			})
 			if err != nil {
 				return cellOut{}, err
@@ -594,6 +601,7 @@ func E7InfoCommGap(cfg Config) (*Table, error) {
 				Workers:      cfg.workers(),
 				Recorder:     cfg.Recorder,
 				DisableLanes: cfg.DisableBatching,
+				DisableIR:    cfg.DisableIR,
 			})
 			if err != nil {
 				return cellOut{}, err

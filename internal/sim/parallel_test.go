@@ -55,6 +55,42 @@ func TestSerialEquivalence(t *testing.T) {
 // via the lane estimator, E6 via the word-parallel trial executor) must
 // render a byte-identical table with batching disabled — at both serial
 // and parallel worker counts, since the two toggles compose.
+// TestIRTableEquivalence pins the compiled-IR engine's sim-facing
+// contract: experiments that route through the IR fast path must render
+// byte-identical tables with it disabled (-noir), at both serial and
+// parallel worker counts.
+func TestIRTableEquivalence(t *testing.T) {
+	render := func(f func(Config) (*Table, error), disable bool, workers int) string {
+		t.Helper()
+		tbl, err := f(Config{Seed: 7, Scale: Quick, Workers: workers, DisableIR: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	experiments := []struct {
+		id string
+		f  func(Config) (*Table, error)
+	}{
+		{"E4", E4AndInfoCost},
+		{"E7", E7InfoCommGap},
+	}
+	for _, e := range experiments {
+		for _, workers := range []int{1, 4} {
+			compiled := render(e.f, false, workers)
+			dynamic := render(e.f, true, workers)
+			if compiled != dynamic {
+				t.Fatalf("%s: workers=%d compiled render differs from dynamic:\n--- compiled ---\n%s--- dynamic ---\n%s",
+					e.id, workers, compiled, dynamic)
+			}
+		}
+	}
+}
+
 func TestBatchingTableEquivalence(t *testing.T) {
 	render := func(f func(Config) (*Table, error), disable bool, workers int) string {
 		t.Helper()

@@ -41,6 +41,12 @@ const (
 	CoreCICShards      = "core.cic.shards"       // counter: estimator shards evaluated
 	CoreCICShardNs     = "core.cic.shard_ns"     // histogram: wall time per shard
 	CoreCICLaneSamples = "core.cic.lane_samples" // counter: samples served by the 64-lane engine
+	CoreCICIRSamples   = "core.cic.ir_samples"   // counter: samples served by the compiled-IR engine
+
+	// Compiled protocol IR (internal/ir).
+	IRCompileNs     = "ir.compile_ns"     // histogram: wall time per program compilation
+	IRProgramHits   = "ir.program_hits"   // counter: program-cache lookups served without compiling
+	IRProgramMisses = "ir.program_misses" // counter: program-cache lookups that compiled (or re-refused)
 
 	// Live observability plane (internal/serve).
 	ServeRunsDroppedUpdates = "serve.runs.dropped_updates" // counter: /runs updates dropped on full subscriber channels
