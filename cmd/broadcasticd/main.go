@@ -16,8 +16,8 @@
 //	             [-only E4,E7] [-parallel N] [-once] [-runtrace dir]
 //	             [-suite=false] [-jobs=false] [-job-workers N]
 //	             [-queue-cap N] [-cache-entries N] [-cache-bytes N]
-//	             [-cache-dir dir] [-log level] [-logformat text|json]
-//	             [-version]
+//	             [-cache-dir dir] [-flight N] [-log level]
+//	             [-logformat text|json] [-version]
 //
 // Tables print to stdout exactly as cmd/experiments prints them; the
 // serving, tracing and logging planes only observe, so stdout is
@@ -46,6 +46,7 @@ import (
 	"broadcastic/internal/serve"
 	"broadcastic/internal/sim"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 	"broadcastic/internal/telemetry/tracelog"
 )
 
@@ -74,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", 64, "result cache capacity in entries")
 	cacheBytes := fs.Int64("cache-bytes", 0, "result cache capacity in bytes (0 = unbounded)")
 	cacheDir := fs.String("cache-dir", "", "directory for cache disk spill (\"\" = memory only)")
+	flight := fs.Int("flight", causal.DefaultCapacity, "flight recorder capacity in records (0 disables causal tracing)")
 	var logCfg telemetry.LogConfig
 	logCfg.AddFlags(fs)
 	version := buildinfo.Flag(fs)
@@ -109,7 +111,17 @@ func run(args []string, out io.Writer) error {
 
 	col := telemetry.NewCollector()
 	broker := serve.NewBrokerRecorded(col)
-	mux := serve.NewMux(col, broker)
+	health := &serve.Health{}
+	mux := serve.NewMuxHealth(col, broker, health)
+	// The flight recorder is the bounded causal-trace ring behind
+	// /debug/flightrecorder; failed jobs and crashes auto-dump their trace
+	// to stderr so a crash leaves its causal chain in the logs.
+	var fr *causal.Recorder
+	if *flight > 0 {
+		fr = causal.NewRecorder(*flight)
+		fr.SetAutoDump(os.Stderr)
+		serve.AttachFlightRecorder(mux, fr)
+	}
 	var svc *jobs.Service
 	if *jobsOn {
 		if *cacheDir != "" {
@@ -122,6 +134,7 @@ func run(args []string, out io.Writer) error {
 			QueueCap: *queueCap,
 			Cache:    jobs.NewCache(*cacheEntries, *cacheBytes, *cacheDir, col),
 			Recorder: col,
+			Flight:   fr,
 			// Submitted jobs stream on /runs alongside the suite, keyed by
 			// job ID so concurrent runs of the same experiment stay distinct.
 			Progress: func(jobID, experiment string) func(done, total int) {
@@ -137,6 +150,9 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	// Ready only once everything that serves requests is up: from here
+	// /healthz flips to 200 until shutdown begins draining.
+	health.SetReady(true)
 	logger.Info("observability plane up",
 		"addr", srv.Addr(), "scale", *scale, "seed", *seed,
 		"experiments", len(selected), "jobs", *jobsOn)
@@ -156,6 +172,17 @@ func run(args []string, out io.Writer) error {
 		if *runtrace != "" {
 			sink = tracelog.New(runID, col)
 			ecfg.Recorder = sink
+		}
+		if fr != nil {
+			// Suite runs trace too: one root per experiment, teed into the
+			// run's Perfetto trace when -runtrace is on (the sink attaches
+			// before the root so the trace's identity lands on the process).
+			var sinkTee causal.EventSink
+			if sink != nil {
+				sinkTee = sink
+			}
+			ecfg.Causal = fr.StartTraceSink(sinkTee, causal.ExperimentRoot,
+				causal.String("experiment", exp.ID), causal.String("runId", runID))
 		}
 		ecfg.Progress = broker.ProgressFunc(runID, exp.ID, col)
 		logger.Info("experiment start", "id", exp.ID, "runId", runID)
@@ -185,6 +212,9 @@ func run(args []string, out io.Writer) error {
 		<-ctx.Done()
 		stop()
 	}
+	// Draining starts: report not-ready before tearing anything down so
+	// orchestrators stop routing while in-flight work completes.
+	health.SetReady(false)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	// HTTP first (no new submissions), then drain the job fleet.

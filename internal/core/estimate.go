@@ -8,6 +8,7 @@ import (
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // CICEstimate is the result of a Monte-Carlo conditional-information-cost
@@ -86,6 +87,10 @@ type EstimateOptions struct {
 	// Bit-identical either way — pinned by the ir_equiv tests — so like
 	// DisableLanes it exists only for comparisons and the -noir flag.
 	DisableIR bool
+	// Causal, when enabled, records one core.cic.shard span per estimator
+	// shard (with the serving engine and shard index as attributes) into
+	// the trace. Strictly observational, like Recorder.
+	Causal causal.Context
 }
 
 // EstimateCICOpts is the full-control estimator entry point every other
@@ -127,12 +132,23 @@ func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts 
 			rec.Count(telemetry.CoreCICLaneSamples, int64(samples))
 		}
 	}
+	engine := "scalar"
+	if prog != nil {
+		engine = "ir"
+	} else if plan != nil {
+		engine = "lanes"
+	}
 	parts, err := pool.MapRecorded(pool.Workers(opts.Workers), shards, func(i int) (cicPartial, error) {
 		count := cicShardSize
 		if i == shards-1 {
 			count = samples - i*cicShardSize
 		}
 		span := telemetry.StartSpan(rec, telemetry.CoreCICShardNs)
+		var cspan causal.Span
+		if opts.Causal.Enabled() {
+			cspan = opts.Causal.StartSpan(causal.CoreShard,
+				causal.Int("shard", i), causal.String("engine", engine))
+		}
 		var p cicPartial
 		var err error
 		switch {
@@ -143,6 +159,7 @@ func EstimateCICOpts(spec Spec, prior Prior, src *rng.Source, samples int, opts 
 		default:
 			p, err = cicShard(spec, prior, streams[i], count)
 		}
+		cspan.End()
 		span.End()
 		return p, err
 	}, rec)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"broadcastic/internal/sim"
-	"broadcastic/internal/telemetry"
 )
 
 // RunExperiment is the default Runner: it resolves the spec's experiment
@@ -13,7 +12,7 @@ import (
 // the rendered table — the same bytes cmd/experiments would print for the
 // same configuration, which is what makes cached and recomputed results
 // interchangeable.
-func RunExperiment(spec JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error) {
+func RunExperiment(spec JobSpec, rc RunContext) ([]byte, error) {
 	scale, err := spec.scale()
 	if err != nil {
 		return nil, err
@@ -32,8 +31,9 @@ func RunExperiment(spec JobSpec, rec telemetry.Recorder, progress func(done, tot
 		Seed:     spec.Seed,
 		Scale:    scale,
 		Workers:  spec.Workers,
-		Recorder: rec,
-		Progress: progress,
+		Recorder: rc.Recorder,
+		Progress: rc.Progress,
+		Causal:   rc.Causal,
 		Params:   sim.Params{Ns: spec.Ns, Ks: spec.Ks, Faults: spec.Faults},
 	}
 	tbl, err := exp.Run(cfg)

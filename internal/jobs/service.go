@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"broadcastic/internal/pool"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // State is a job's lifecycle phase.
@@ -34,10 +36,19 @@ var ErrQueueFull = errors.New("jobs: tenant queue full, retry later")
 // ErrClosed reports a submission to a service that has been shut down.
 var ErrClosed = errors.New("jobs: service closed")
 
+// RunContext bundles everything a Runner receives beyond the spec: the
+// metrics recorder, the progress hook, and the causal context whose parent
+// is the job's execute span. All fields may be zero.
+type RunContext struct {
+	Recorder telemetry.Recorder
+	Progress func(done, total int)
+	Causal   causal.Context
+}
+
 // Runner executes one validated spec and returns the rendered result
-// bytes. rec and progress may be nil. Options.Run defaults to
-// RunExperiment; tests substitute slow or counting runners.
-type Runner func(spec JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error)
+// bytes. Options.Run defaults to RunExperiment; tests substitute slow or
+// counting runners.
+type Runner func(spec JobSpec, rc RunContext) ([]byte, error)
 
 // Options configures a Service.
 type Options struct {
@@ -57,6 +68,10 @@ type Options struct {
 	// the runner — the daemon wires serve.Broker.ProgressFunc here so
 	// jobs stream on /runs without this package importing the HTTP layer.
 	Progress func(jobID, experiment string) func(done, total int)
+	// Flight, when non-nil, is the causal flight recorder the service's
+	// traces live in. SubmitTraced contexts must be minted from it (the
+	// HTTP layer does so via Service.Flight at admission).
+	Flight *causal.Recorder
 	// Run executes specs (nil = RunExperiment).
 	Run Runner
 }
@@ -77,6 +92,10 @@ type Job struct {
 	// State is Done.
 	Result string `json:"result,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// TraceID is the causal trace the job's spans record under (16 hex
+	// digits), present when the submission was traced — the handle clients
+	// pass to /debug/flightrecorder?trace=.
+	TraceID string `json:"traceId,omitempty"`
 	// Timestamps in Unix milliseconds; zero when not reached.
 	SubmittedMs int64 `json:"submittedMs"`
 	StartedMs   int64 `json:"startedMs,omitempty"`
@@ -87,6 +106,24 @@ type Job struct {
 type job struct {
 	Job
 	cancelled bool // set by Cancel; a running job finishes but stays Canceled
+	cause     causal.Context
+	queueSpan causal.Span // submit -> dispatch; never ended if canceled while queued
+	submitted time.Time   // monotonic submit instant, for queue-wait observation
+}
+
+// tenantMetrics caches one tenant's pre-rendered labeled metric names and
+// its cache hit/miss tally (for the hit-ratio gauge). Counts are atomics
+// so the hot submit path never takes a second lock.
+type tenantMetrics struct {
+	submitted  string
+	rejected   string
+	cacheHits  string
+	queueDepth string
+	waitNs     string
+	bitsServed string
+	hitRatio   string
+	hits       atomic.Int64
+	misses     atomic.Int64
 }
 
 // Service schedules jobs over per-tenant FIFO queues onto a bounded
@@ -104,8 +141,64 @@ type Service struct {
 	ringPos int               // next tenant to inspect, for round-robin
 	jobs    map[string]*job
 	nextID  int
+	queued  int // jobs across all queues, for the global depth gauge
 	closed  bool
 	wg      sync.WaitGroup
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantMetrics
+}
+
+// Flight returns the causal flight recorder the service records into
+// (nil when tracing is disabled).
+func (s *Service) Flight() *causal.Recorder { return s.opts.Flight }
+
+// tenant returns (lazily building) the tenant's cached metric names.
+func (s *Service) tenant(t string) *tenantMetrics {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	tm := s.tenants[t]
+	if tm == nil {
+		tm = &tenantMetrics{
+			submitted:  telemetry.Labeled(telemetry.JobsTenantSubmitted, "tenant", t),
+			rejected:   telemetry.Labeled(telemetry.JobsTenantRejected, "tenant", t),
+			cacheHits:  telemetry.Labeled(telemetry.JobsTenantCacheHits, "tenant", t),
+			queueDepth: telemetry.Labeled(telemetry.JobsQueueDepth, "tenant", t),
+			waitNs:     telemetry.Labeled(telemetry.JobsQueueWaitNs, "tenant", t),
+			bitsServed: telemetry.Labeled(telemetry.JobsBitsServed, "tenant", t),
+			hitRatio:   telemetry.Labeled(telemetry.JobsCacheHitRatio, "tenant", t),
+		}
+		s.tenants[t] = tm
+	}
+	return tm
+}
+
+// recordLookup tallies one cache consult for the tenant and refreshes its
+// hit-ratio gauge.
+func (s *Service) recordLookup(tm *tenantMetrics, hit bool) {
+	if hit {
+		tm.hits.Add(1)
+		telemetry.Count(s.opts.Recorder, tm.cacheHits, 1)
+	} else {
+		tm.misses.Add(1)
+	}
+	h, m := tm.hits.Load(), tm.misses.Load()
+	telemetry.Gauge(s.opts.Recorder, tm.hitRatio, float64(h)/float64(h+m))
+}
+
+// depthGaugesLocked refreshes the tenant's and the global queue-depth
+// gauges. Callers hold mu.
+func (s *Service) depthGaugesLocked(tm *tenantMetrics, tenant string) {
+	telemetry.Gauge(s.opts.Recorder, tm.queueDepth, float64(len(s.queues[tenant])))
+	telemetry.Gauge(s.opts.Recorder, telemetry.JobsQueueDepth, float64(s.queued))
+}
+
+// recordBitsServed counts a result's bits toward the fleet and tenant
+// totals.
+func (s *Service) recordBitsServed(tm *tenantMetrics, resultBytes int) {
+	bits := int64(resultBytes) * 8
+	telemetry.Count(s.opts.Recorder, telemetry.JobsBitsServed, bits)
+	telemetry.Count(s.opts.Recorder, tm.bitsServed, bits)
 }
 
 // New starts a service and its worker fleet. Callers must Close it.
@@ -126,6 +219,7 @@ func New(opts Options) *Service {
 		buildSHA: opts.BuildSHA,
 		queues:   make(map[string][]*job),
 		jobs:     make(map[string]*job),
+		tenants:  make(map[string]*tenantMetrics),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < pool.Workers(opts.Workers); w++ {
@@ -152,8 +246,11 @@ func (s *Service) Close() {
 			j.State = Canceled
 			j.FinishedMs = now
 			telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+			j.cause.Event(causal.JobCanceled, causal.String("job", j.ID), causal.String("reason", "service closed"))
 		}
+		s.queued -= len(q)
 		s.queues[tenant] = nil
+		s.depthGaugesLocked(s.tenant(tenant), tenant)
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -165,58 +262,92 @@ func (s *Service) Close() {
 // worker is dispatched) or enqueues on the tenant's FIFO. A full tenant
 // queue rejects with ErrQueueFull without touching other tenants.
 func (s *Service) Submit(tenant string, spec JobSpec) (Job, error) {
+	return s.SubmitTraced(tenant, spec, causal.Context{})
+}
+
+// SubmitTraced is Submit under a causal context (minted from the
+// service's Flight recorder at admission; the zero Context is untraced).
+// Rejections record a jobs.rejected fault on the trace; accepted jobs
+// carry the trace through queue wait, dispatch, execution and outcome.
+func (s *Service) SubmitTraced(tenant string, spec JobSpec, cause causal.Context) (Job, error) {
 	if tenant == "" {
+		cause.Fault(causal.JobRejected, causal.String("reason", "empty tenant"))
 		return Job{}, fmt.Errorf("jobs: empty tenant")
 	}
 	if err := spec.Validate(); err != nil {
+		cause.Fault(causal.JobRejected, causal.String("reason", err.Error()))
 		return Job{}, err
 	}
 	key, err := spec.Key(s.buildSHA)
 	if err != nil {
+		cause.Fault(causal.JobRejected, causal.String("reason", err.Error()))
 		return Job{}, err
 	}
 
+	tm := s.tenant(tenant)
 	var cached []byte
 	hit := false
 	if s.opts.Cache != nil {
 		cached, hit = s.opts.Cache.Get(key)
+		s.recordLookup(tm, hit)
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		cause.Fault(causal.JobRejected, causal.String("reason", "service closed"))
 		return Job{}, ErrClosed
 	}
 	if !hit && len(s.queues[tenant]) >= s.queueCap {
 		s.mu.Unlock()
 		telemetry.Count(s.opts.Recorder, telemetry.JobsRejected, 1)
+		telemetry.Count(s.opts.Recorder, tm.rejected, 1)
+		cause.Fault(causal.JobRejected, causal.String("reason", "queue full"))
 		return Job{}, fmt.Errorf("%w (tenant %q, cap %d)", ErrQueueFull, tenant, s.queueCap)
 	}
 	s.nextID++
-	j := &job{Job: Job{
-		ID:          fmt.Sprintf("j%06d", s.nextID),
-		Tenant:      tenant,
-		Spec:        spec,
-		Key:         key,
-		SubmittedMs: nowMs(),
-	}}
+	j := &job{
+		Job: Job{
+			ID:          fmt.Sprintf("j%06d", s.nextID),
+			Tenant:      tenant,
+			Spec:        spec,
+			Key:         key,
+			SubmittedMs: nowMs(),
+		},
+		cause:     cause,
+		submitted: time.Now(),
+	}
+	if cause.Enabled() {
+		j.TraceID = cause.Trace().String()
+	}
 	s.jobs[j.ID] = j
 	if hit {
 		j.State = Done
 		j.CacheHit = true
 		j.Result = string(cached)
 		j.FinishedMs = j.SubmittedMs
+		cause.Event(causal.JobCacheHit, causal.String("job", j.ID))
 	} else {
 		j.State = Queued
 		if _, seen := s.queues[tenant]; !seen {
 			s.ring = append(s.ring, tenant)
 		}
 		s.queues[tenant] = append(s.queues[tenant], j)
+		s.queued++
+		// The queue-wait span opens here and closes when a worker picks the
+		// job up; a job canceled while queued never ends it, so only
+		// dispatched jobs contribute queue-wait records and observations.
+		j.queueSpan = cause.StartSpan(causal.JobQueueWait, causal.String("job", j.ID))
+		s.depthGaugesLocked(tm, tenant)
 		s.cond.Signal()
 	}
 	view := j.Job
 	s.mu.Unlock()
 	telemetry.Count(s.opts.Recorder, telemetry.JobsSubmitted, 1)
+	telemetry.Count(s.opts.Recorder, tm.submitted, 1)
+	if hit {
+		s.recordBitsServed(tm, len(cached))
+	}
 	return view, nil
 }
 
@@ -260,6 +391,7 @@ func (s *Service) Cancel(id string) (Job, bool) {
 		for i, qj := range q {
 			if qj == j {
 				s.queues[j.Tenant] = append(q[:i:i], q[i+1:]...)
+				s.queued--
 				break
 			}
 		}
@@ -267,10 +399,16 @@ func (s *Service) Cancel(id string) (Job, bool) {
 		j.cancelled = true
 		j.FinishedMs = nowMs()
 		telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+		s.depthGaugesLocked(s.tenant(j.Tenant), j.Tenant)
+		// The queue-wait span is deliberately never ended: a canceled-while-
+		// queued job was never dispatched, so it contributes no wait record.
+		j.cause.Event(causal.JobCanceled, causal.String("job", j.ID), causal.String("reason", "client cancel"))
 	case Running:
 		j.State = Canceled
 		j.cancelled = true
 		telemetry.Count(s.opts.Recorder, telemetry.JobsCanceled, 1)
+		// The worker emits the causal jobs.canceled event when the in-flight
+		// run finishes, keeping the trace's event order causal.
 	}
 	return j.Job, true
 }
@@ -302,15 +440,33 @@ func (s *Service) worker() {
 		}
 		j.State = Running
 		j.StartedMs = nowMs()
-		id, spec := j.ID, j.Spec
+		wait := time.Since(j.submitted)
+		id, tenant, spec := j.ID, j.Tenant, j.Spec
+		cause := j.cause
+		tm := s.tenant(tenant)
+		s.depthGaugesLocked(tm, tenant)
+		j.queueSpan.End()
 		s.mu.Unlock()
+
+		// Queue wait is observed exactly once per dispatched job, at
+		// dispatch; canceled-while-queued jobs never reach this point.
+		telemetry.Observe(s.opts.Recorder, telemetry.JobsQueueWaitNs, float64(wait))
+		telemetry.Observe(s.opts.Recorder, tm.waitNs, float64(wait))
+		cause.Event(causal.JobDispatch, causal.String("job", id))
 
 		var progress func(done, total int)
 		if s.opts.Progress != nil {
 			progress = s.opts.Progress(id, spec.Experiment)
 		}
 		span := telemetry.StartSpan(s.opts.Recorder, telemetry.JobsJobNs)
-		result, err := s.opts.Run(spec, s.opts.Recorder, progress)
+		exec := cause.StartSpan(causal.JobExecute,
+			causal.String("job", id), causal.String("experiment", spec.Experiment))
+		result, err := s.opts.Run(spec, RunContext{
+			Recorder: s.opts.Recorder,
+			Progress: progress,
+			Causal:   exec.Context(),
+		})
+		exec.End()
 		span.End()
 
 		if err == nil && s.opts.Cache != nil {
@@ -323,16 +479,22 @@ func (s *Service) worker() {
 			// the computation is not wasted, but the client asked us not to
 			// report it.
 			j.FinishedMs = now
+			cause.Event(causal.JobCanceled, causal.String("job", id), causal.String("reason", "canceled while running"))
 		} else if err != nil {
 			j.State = Failed
 			j.Error = err.Error()
 			j.FinishedMs = now
 			telemetry.Count(s.opts.Recorder, telemetry.JobsFailed, 1)
+			// Fail marks the fault instant and triggers the flight
+			// recorder's at-most-once auto-dump for this trace.
+			cause.Fail(causal.JobFail, causal.String("job", id), causal.String("error", err.Error()))
 		} else {
 			j.State = Done
 			j.Result = string(result)
 			j.FinishedMs = now
 			telemetry.Count(s.opts.Recorder, telemetry.JobsCompleted, 1)
+			s.recordBitsServed(tm, len(result))
+			cause.Event(causal.JobDone, causal.Int("bytes", len(result)))
 		}
 		s.mu.Unlock()
 	}
@@ -347,6 +509,7 @@ func (s *Service) popLocked() *job {
 		tenant := s.ring[i]
 		if q := s.queues[tenant]; len(q) > 0 {
 			s.queues[tenant] = q[1:]
+			s.queued--
 			s.ringPos = (i + 1) % len(s.ring)
 			return q[0]
 		}

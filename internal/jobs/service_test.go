@@ -37,9 +37,9 @@ func waitTerminal(t *testing.T, s *Service, id string) Job {
 func TestDeterministicCacheHit(t *testing.T) {
 	col := telemetry.NewCollector()
 	var runs atomic.Int64
-	counting := func(spec JobSpec, rec telemetry.Recorder, progress func(int, int)) ([]byte, error) {
+	counting := func(spec JobSpec, rc RunContext) ([]byte, error) {
 		runs.Add(1)
-		return RunExperiment(spec, rec, progress)
+		return RunExperiment(spec, rc)
 	}
 	cache := NewCache(16, 0, "", col)
 	svc := New(Options{Workers: 1, Cache: cache, BuildSHA: "build-a", Recorder: col, Run: counting})
@@ -58,7 +58,7 @@ func TestDeterministicCacheHit(t *testing.T) {
 		t.Fatalf("first job = %+v", first)
 	}
 	// The service's result is the same bytes a direct run renders.
-	direct, err := RunExperiment(spec, nil, nil)
+	direct, err := RunExperiment(spec, RunContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDeterministicCacheHit(t *testing.T) {
 func TestRestartedServiceServesFromSpill(t *testing.T) {
 	dir := t.TempDir()
 	var runs atomic.Int64
-	counting := func(spec JobSpec, rec telemetry.Recorder, progress func(int, int)) ([]byte, error) {
+	counting := func(spec JobSpec, _ RunContext) ([]byte, error) {
 		runs.Add(1)
 		return []byte("computed-" + spec.Experiment), nil
 	}
@@ -174,7 +174,7 @@ func (b *blockingRunner) releaseAll() {
 	b.releaser.Do(func() { close(b.release) })
 }
 
-func (b *blockingRunner) run(spec JobSpec, _ telemetry.Recorder, _ func(int, int)) ([]byte, error) {
+func (b *blockingRunner) run(spec JobSpec, _ RunContext) ([]byte, error) {
 	b.mu.Lock()
 	b.started = append(b.started, spec.Seed)
 	b.mu.Unlock()
@@ -370,7 +370,7 @@ func TestCloseCancelsQueuedAndRejects(t *testing.T) {
 }
 
 func TestSubmitValidatesAndRequiresTenant(t *testing.T) {
-	svc := New(Options{Workers: 1, Run: func(JobSpec, telemetry.Recorder, func(int, int)) ([]byte, error) {
+	svc := New(Options{Workers: 1, Run: func(JobSpec, RunContext) ([]byte, error) {
 		return nil, nil
 	}})
 	defer svc.Close()
@@ -384,7 +384,7 @@ func TestSubmitValidatesAndRequiresTenant(t *testing.T) {
 
 func TestFailedJobReportsError(t *testing.T) {
 	col := telemetry.NewCollector()
-	svc := New(Options{Workers: 1, Recorder: col, Run: func(JobSpec, telemetry.Recorder, func(int, int)) ([]byte, error) {
+	svc := New(Options{Workers: 1, Recorder: col, Run: func(JobSpec, RunContext) ([]byte, error) {
 		return nil, errors.New("boom")
 	}})
 	defer svc.Close()

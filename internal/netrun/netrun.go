@@ -55,6 +55,7 @@ import (
 	"broadcastic/internal/faults"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // Config tunes a networked run. The zero value is usable: in-process
@@ -96,6 +97,13 @@ type Config struct {
 	// safe for concurrent use; recording never changes transcripts, bit
 	// counts or outcomes.
 	Recorder telemetry.Recorder
+	// Causal, when enabled, attaches the run's wire-level story to a
+	// trace: one netrun.hop span per delivered application frame, a
+	// netrun.retry event per retransmission, a netrun.fault instant per
+	// injected fault, and a netrun.crash failure (which triggers the
+	// flight recorder's auto-dump) per crashed player. Observational only,
+	// like Recorder.
+	Causal causal.Context
 }
 
 // PlayerStats is per-player link and turn telemetry.
@@ -271,8 +279,8 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 	coordEps := make([]*endpoint, k)
 	playerEps := make([]*endpoint, k)
 	for i := 0; i < k; i++ {
-		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, cfg.Recorder, telemetry.NetrunLink, i)
-		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, cfg.Recorder, telemetry.NetrunLink, i)
+		coordEps[i] = newEndpoint(coordLinks[i], injCoord[i], timeout, maxRetries, cfg.Recorder, cfg.Causal, telemetry.NetrunLink, i)
+		playerEps[i] = newEndpoint(playerLinks[i], injPlayer[i], timeout, maxRetries, cfg.Recorder, cfg.Causal, telemetry.NetrunLink, i)
 	}
 	closeAll := func() {
 		for i := 0; i < k; i++ {
@@ -337,6 +345,12 @@ func Run(sched blackboard.Scheduler, players []blackboard.Player, public *rng.So
 	}
 	crash := func(player int, cause error) (*Result, error) {
 		telemetry.Count(cfg.Recorder, telemetry.NetrunCrashes, 1)
+		if cfg.Causal.Enabled() {
+			// A crash is the unrecoverable failure of the run: mark the
+			// instant and trigger the trace's flight-recorder auto-dump.
+			cfg.Causal.Fail(causal.NetrunCrash,
+				causal.Int("player", player), causal.String("error", cause.Error()))
+		}
 		res := finish([]int{player})
 		return res, &CrashError{Player: player, Cause: cause}
 	}

@@ -9,6 +9,7 @@ import (
 	"broadcastic/internal/faults"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // This file is the explicit-topology runtime: the counterpart of the
@@ -307,8 +308,8 @@ func runTopology(sched blackboard.Scheduler, players []blackboard.Player, public
 		r.nodes[id] = &topoNode{id: id, links: make(map[int]*nodeLink), inbox: make(chan routedFrame, topoInboxCap)}
 	}
 	for l, lid := range links {
-		epA[l] = newEndpoint(sideA[l], injAB[l], timeout, maxRetries, cfg.Recorder, telemetry.NetrunTopo, l)
-		epB[l] = newEndpoint(sideB[l], injBA[l], timeout, maxRetries, cfg.Recorder, telemetry.NetrunTopo, l)
+		epA[l] = newEndpoint(sideA[l], injAB[l], timeout, maxRetries, cfg.Recorder, cfg.Causal, telemetry.NetrunTopo, l)
+		epB[l] = newEndpoint(sideB[l], injBA[l], timeout, maxRetries, cfg.Recorder, cfg.Causal, telemetry.NetrunTopo, l)
 		r.nodes[lid.A].links[lid.B] = &nodeLink{ep: epA[l]}
 		r.nodes[lid.B].links[lid.A] = &nodeLink{ep: epB[l]}
 	}
@@ -391,6 +392,10 @@ func runTopology(sched blackboard.Scheduler, players []blackboard.Player, public
 	}
 	crash := func(player int, cause error) (*Result, error) {
 		telemetry.Count(cfg.Recorder, telemetry.NetrunCrashes, 1)
+		if cfg.Causal.Enabled() {
+			cfg.Causal.Fail(causal.NetrunCrash,
+				causal.Int("player", player), causal.String("error", cause.Error()))
+		}
 		res := finish([]int{player})
 		return res, &CrashError{Player: player, Cause: cause}
 	}

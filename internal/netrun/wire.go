@@ -12,7 +12,30 @@ import (
 	"broadcastic/internal/blackboard"
 	"broadcastic/internal/faults"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
+
+// kindName names a frame kind for causal record attributes.
+func kindName(kind byte) string {
+	switch kind {
+	case frameSync:
+		return "sync"
+	case frameTurn:
+		return "turn"
+	case frameMsg:
+		return "msg"
+	case frameErr:
+		return "err"
+	case frameAck:
+		return "ack"
+	case frameNack:
+		return "nack"
+	case frameRouted:
+		return "routed"
+	default:
+		return "unknown"
+	}
+}
 
 // Frame kinds. A frame is the unit the delivery layer retransmits; the
 // coordinator and players exchange exactly one kind per protocol event.
@@ -222,6 +245,12 @@ type endpoint struct {
 	rec   telemetry.Recorder
 	names linkMetricNames
 
+	// cause attaches hop spans, retry events and fault instants to the
+	// run's trace (zero Context: disabled). linkAttr is the precomputed
+	// link attribute shared by every record this endpoint emits.
+	cause    causal.Context
+	linkAttr causal.Attr
+
 	writeMu sync.Mutex // serializes raw.Send between data path and control path
 	sendSeq uint32     // owned by the sending goroutine
 	recvSeq uint32     // owned by the read loop
@@ -252,13 +281,15 @@ type linkMetricNames struct {
 // path (indexed by player), telemetry.NetrunTopo on the topology path
 // (indexed by physical link) — so the two runtimes' wire accounting stays
 // distinguishable on /metrics.
-func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, rec telemetry.Recorder, prefix string, link int) *endpoint {
+func newEndpoint(raw Link, inj *faults.Injector, timeout time.Duration, maxRetries int, rec telemetry.Recorder, cause causal.Context, prefix string, link int) *endpoint {
 	ep := &endpoint{
 		raw:        raw,
 		inj:        inj,
 		timeout:    timeout,
 		maxRetries: maxRetries,
 		rec:        rec,
+		cause:      cause,
+		linkAttr:   causal.Int("link", link),
 		dataCh:     make(chan inbound, 256),
 		ackCh:      make(chan uint32, 64),
 		nackCh:     make(chan struct{}, 64),
@@ -314,6 +345,9 @@ func (ep *endpoint) recordFault(kind faults.Kind) {
 	if ep.rec != nil {
 		ep.rec.Count(telemetry.NetrunFaults, 1)
 		ep.rec.Count(ep.names.fault[kind], 1)
+	}
+	if ep.cause.Enabled() {
+		ep.cause.Fault(causal.NetrunFault, ep.linkAttr, causal.String("fault", kind.String()))
 	}
 }
 
@@ -416,10 +450,23 @@ func (ep *endpoint) send(kind byte, payload []byte) error {
 	if ep.rec != nil {
 		sendStart = time.Now()
 	}
+	// The hop span covers first transmission to matching ack; it is ended
+	// only on successful delivery, so a hop that exhausted its retry budget
+	// (or died with the link) is absent from the dump — the retry events
+	// and the eventual crash record tell that story instead.
+	var hop causal.Span
+	if ep.cause.Enabled() {
+		hop = ep.cause.StartSpan(causal.NetrunHop, ep.linkAttr, causal.String("kind", kindName(kind)))
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			ep.stats.retries.Add(1)
 			ep.recordRetry()
+			if ep.cause.Enabled() {
+				// Parent the retry to its hop so the causal tree shows which
+				// delivery the retransmission repaired.
+				hop.Context().Event(causal.NetrunRetry, ep.linkAttr, causal.Int("attempt", attempt))
+			}
 		}
 		delivered, err := ep.sendRaw(frame, true)
 		if err != nil {
@@ -439,6 +486,7 @@ func (ep *endpoint) send(kind byte, payload []byte) error {
 							ep.rec.Observe(telemetry.NetrunAckNs, float64(time.Since(sendStart)))
 							ep.rec.Observe(ep.names.ackNs, float64(time.Since(sendStart)))
 						}
+						hop.End()
 						return nil
 					}
 					// Stale ack for an earlier frame (e.g. from an injected

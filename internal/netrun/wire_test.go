@@ -8,6 +8,7 @@ import (
 
 	"broadcastic/internal/blackboard"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -95,8 +96,8 @@ func newEndpointPair(t *testing.T, wrapA func(Link) Link, timeout time.Duration,
 	if wrapA != nil {
 		rawA = wrapA(rawA)
 	}
-	a := newEndpoint(rawA, nil, timeout, maxRetries, nil, telemetry.NetrunLink, 0)
-	b := newEndpoint(players[0], nil, timeout, maxRetries, nil, telemetry.NetrunLink, 0)
+	a := newEndpoint(rawA, nil, timeout, maxRetries, nil, causal.Context{}, telemetry.NetrunLink, 0)
+	b := newEndpoint(players[0], nil, timeout, maxRetries, nil, causal.Context{}, telemetry.NetrunLink, 0)
 	t.Cleanup(func() { a.close(); b.close() })
 	return a, b
 }

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"broadcastic/internal/telemetry/causal"
+)
+
+// AttachFlightRecorder mounts the flight recorder's dump endpoint:
+//
+//	GET /debug/flightrecorder            — every held record, NDJSON
+//	GET /debug/flightrecorder?trace=<id> — one trace's records (16-hex id,
+//	                                       as jobs report in "traceId");
+//	                                       400 on a malformed id
+//
+// Records stream oldest-first (see causal.Recorder.Records); the held set
+// is the bounded ring's current contents, so a dump is a snapshot of the
+// recent past, not an archive. The X-Flightrecorder-Records header carries
+// the record count, letting scripts distinguish "empty trace" from "trace
+// evicted" cheaply.
+func AttachFlightRecorder(mux *http.ServeMux, fr *causal.Recorder) {
+	mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		var filter causal.TraceID
+		if raw := r.URL.Query().Get("trace"); raw != "" {
+			id, err := causal.ParseTraceID(raw)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			filter = id
+		}
+		recs := fr.Records(filter)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Flightrecorder-Records", strconv.Itoa(len(recs)))
+		_ = causal.DumpRecords(w, recs)
+	})
+}

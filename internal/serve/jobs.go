@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"broadcastic/internal/jobs"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // submitRequest is the POST /jobs body: a JobSpec plus an optional tenant
@@ -25,7 +26,9 @@ type submitRequest struct {
 //	DELETE /jobs/{id} — cancel; the snapshot reflects the new state.
 //
 // The tenant comes from the X-Tenant header or the body's "tenant" field,
-// defaulting to "default". Responses are the jobs.Job JSON snapshot.
+// defaulting to "default". Responses are the jobs.Job JSON snapshot; when
+// the service has a flight recorder, every submission is admitted under a
+// fresh trace whose ID the snapshot carries as "traceId".
 func AttachJobs(mux *http.ServeMux, svc *jobs.Service) {
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req submitRequest
@@ -42,7 +45,16 @@ func AttachJobs(mux *http.ServeMux, svc *jobs.Service) {
 		if tenant == "" {
 			tenant = "default"
 		}
-		job, err := svc.Submit(tenant, req.JobSpec)
+		// Admission is where the causal root is minted: everything that
+		// happens to this submission — rejection included — records under
+		// the trace born here.
+		var cause causal.Context
+		if fr := svc.Flight(); fr != nil {
+			cause = fr.StartTrace(causal.JobAdmission,
+				causal.String("tenant", tenant),
+				causal.String("experiment", req.Experiment))
+		}
+		job, err := svc.SubmitTraced(tenant, req.JobSpec, cause)
 		switch {
 		case err == nil:
 		case errors.Is(err, jobs.ErrQueueFull):

@@ -118,7 +118,7 @@ func TestJobsHTTPBackpressure(t *testing.T) {
 	svc := jobs.New(jobs.Options{
 		Workers:  1,
 		QueueCap: 1,
-		Run: func(spec jobs.JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error) {
+		Run: func(spec jobs.JobSpec, rc jobs.RunContext) ([]byte, error) {
 			<-release
 			return []byte("x"), nil
 		},
@@ -212,7 +212,7 @@ func TestJobsHTTPListAndCancel(t *testing.T) {
 	release := make(chan struct{})
 	svc := jobs.New(jobs.Options{
 		Workers: 1,
-		Run: func(spec jobs.JobSpec, rec telemetry.Recorder, progress func(done, total int)) ([]byte, error) {
+		Run: func(spec jobs.JobSpec, rc jobs.RunContext) ([]byte, error) {
 			<-release
 			return []byte("x"), nil
 		},

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"broadcastic/internal/buildinfo"
@@ -177,10 +178,41 @@ func (b *Broker) ProgressFunc(runID, experiment string, col *telemetry.Collector
 	}
 }
 
+// Health is the process's readiness state, shared between /healthz and the
+// lifecycle code that flips it: not ready until the job fleet is up, not
+// ready again once draining begins at shutdown. The zero value is "not
+// ready"; a nil *Health means readiness is not tracked and /healthz always
+// reports ready (the standalone, no-jobs configurations).
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the readiness state. Nil-safe.
+func (h *Health) SetReady(ready bool) {
+	if h != nil {
+		h.ready.Store(ready)
+	}
+}
+
+// Ready reports readiness; a nil *Health is always ready.
+func (h *Health) Ready() bool { return h == nil || h.ready.Load() }
+
 // NewMux builds the observability mux over a collector and a broker.
 // Either may be nil: nil collector serves an empty exposition, nil broker
-// serves an empty snapshot and no streams.
+// serves an empty snapshot and no streams. Readiness is not tracked —
+// /healthz always reports ready; daemons that manage a job fleet use
+// NewMuxHealth.
 func NewMux(col *telemetry.Collector, broker *Broker) *http.ServeMux {
+	return NewMuxHealth(col, broker, nil)
+}
+
+// NewMuxHealth is NewMux with liveness/readiness split on /healthz: the
+// endpoint returns 200 {"status":"ok",...,"ready":true} while health
+// reports ready, and 503 {"status":"unavailable","ready":false,...} during
+// startup and shutdown drain — so orchestrators stop routing before the
+// fleet stops accepting. ?live=1 is the pure liveness probe: 200 whenever
+// the process can serve HTTP, whatever the readiness state.
+func NewMuxHealth(col *telemetry.Collector, broker *Broker, health *Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -194,9 +226,17 @@ func NewMux(col *telemetry.Collector, broker *Broker) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		live := r.URL.Query().Get("live") == "1"
+		ready := health.Ready()
+		status := "ok"
+		if !ready && !live {
+			status = "unavailable"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		info := buildinfo.Resolve()
 		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":  "ok",
+			"status":  status,
+			"ready":   ready,
 			"module":  info.Path,
 			"version": info.Version,
 			"go":      info.GoVersion,

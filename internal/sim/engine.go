@@ -6,6 +6,7 @@ import (
 	"broadcastic/internal/pool"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // The parallel sweep engine.
@@ -51,6 +52,15 @@ func sweep[T any](cfg Config, base *rng.Source, n int, fn func(cell int, src *rn
 			v, err := inner(i)
 			span.End()
 			cfg.Recorder.Count(telemetry.SimCells, 1)
+			return v, err
+		}
+	}
+	if cfg.Causal.Enabled() {
+		inner := cell
+		cell = func(i int) (T, error) {
+			span := cfg.Causal.StartSpan(causal.SimCell, causal.Int("cell", i))
+			v, err := inner(i)
+			span.End()
 			return v, err
 		}
 	}

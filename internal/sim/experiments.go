@@ -24,6 +24,7 @@ import (
 	"broadcastic/internal/radio"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 	"broadcastic/internal/twoparty"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// harness pins it — so the knob exists for benchmarking and for the
 	// binaries' -noir escape hatch, never for correctness.
 	DisableIR bool
+	// Causal, when enabled, threads a trace context through the run: the
+	// engine wraps each sweep cell in a sim.cell span, and the networked
+	// and estimator sub-runs attach their hop/retry/fault and shard
+	// records to the same trace. Like Recorder, it only observes — the
+	// zero Context disables tracing at one branch per site.
+	Causal causal.Context
 	// Params optionally overrides the experiment's sweep grid (see
 	// params.go); the zero value runs the EXPERIMENTS.md defaults.
 	Params Params
@@ -326,6 +333,7 @@ func E4AndInfoCost(cfg Config) (*Table, error) {
 				Recorder:     cfg.Recorder,
 				DisableLanes: cfg.DisableBatching,
 				DisableIR:    cfg.DisableIR,
+				Causal:       cfg.Causal,
 			})
 			if err != nil {
 				return cellOut{}, err
@@ -602,6 +610,7 @@ func E7InfoCommGap(cfg Config) (*Table, error) {
 				Recorder:     cfg.Recorder,
 				DisableLanes: cfg.DisableBatching,
 				DisableIR:    cfg.DisableIR,
+				Causal:       cfg.Causal,
 			})
 			if err != nil {
 				return cellOut{}, err
@@ -1547,6 +1556,7 @@ func E20NetworkedOverhead(cfg Config) (*Table, error) {
 				Timeout:  time.Second,
 				Limits:   proto.Limits(),
 				Recorder: cfg.Recorder,
+				Causal:   cfg.Causal,
 			})
 			if err != nil {
 				return nil, err
@@ -1646,6 +1656,7 @@ func E21TopologySeparation(cfg Config) (*Table, error) {
 				Timeout:  time.Second,
 				Limits:   cProto.Limits(),
 				Recorder: cfg.Recorder,
+				Causal:   cfg.Causal,
 			})
 			if err != nil {
 				return nil, err

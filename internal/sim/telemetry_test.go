@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
+	"broadcastic/internal/telemetry/tracelog"
 )
 
 // renderWith runs an experiment with the given recorder and returns the
@@ -77,5 +79,63 @@ func TestTelemetrySnapshotConsistency(t *testing.T) {
 	}
 	if samples := rec.Counter(telemetry.CoreCICSamples); samples < shards {
 		t.Fatalf("recorded %d samples over %d shards", samples, shards)
+	}
+}
+
+// TestCausalEquivalence extends the observability contract to the causal
+// plane: with a live flight recorder, a metrics collector AND a Perfetto
+// sink all attached, every table renders byte-identical to the bare run —
+// and the equivalence is not vacuous, because the recorder demonstrably
+// held cell spans (plus netrun hops for E20 and estimator shards for E4).
+func TestCausalEquivalence(t *testing.T) {
+	experiments := []struct {
+		id   string
+		f    func(Config) (*Table, error)
+		want string // a record name the experiment must have produced
+	}{
+		{"E1", E1DisjScalingN, causal.SimCell},
+		{"E4", E4AndInfoCost, causal.CoreShard},
+		{"E20", E20NetworkedOverhead, causal.NetrunHop},
+	}
+	for _, e := range experiments {
+		bare := renderWith(t, e.f, 1, nil)
+		for _, workers := range []int{1, 4} {
+			fr := causal.NewRecorder(0)
+			col := telemetry.NewCollector()
+			sink := tracelog.New(e.id+"-causal", col)
+			cause := fr.StartTrace(causal.ExperimentRoot,
+				causal.String("experiment", e.id)).WithSink(sink)
+			cfg := Config{Seed: 7, Scale: Quick, Workers: workers, Recorder: col, Causal: cause}
+			tbl, err := e.f(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := tbl.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != bare {
+				t.Fatalf("%s: fully-traced table (workers=%d) differs from bare table:\n--- bare ---\n%s--- traced ---\n%s",
+					e.id, workers, bare, sb.String())
+			}
+			names := map[string]int{}
+			for _, rec := range fr.Records(cause.Trace()) {
+				names[rec.Name]++
+			}
+			if names[causal.SimCell] == 0 {
+				t.Errorf("%s: no sim.cell spans recorded (workers=%d)", e.id, workers)
+			}
+			if names[e.want] == 0 {
+				t.Errorf("%s: no %s records (workers=%d); have %v", e.id, e.want, workers, names)
+			}
+			// The sink teed every record into the Perfetto trace.
+			var buf strings.Builder
+			if _, err := sink.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), causal.SimCell) {
+				t.Errorf("%s: Perfetto trace missing teed sim.cell records", e.id)
+			}
+		}
 	}
 }

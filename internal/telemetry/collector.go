@@ -16,6 +16,7 @@ import (
 type Collector struct {
 	mu     sync.Mutex
 	counts map[string]int64
+	gauges map[string]float64
 	hists  map[string]*histogram
 }
 
@@ -65,6 +66,7 @@ func (h *histogram) observe(v float64) {
 func NewCollector() *Collector {
 	return &Collector{
 		counts: make(map[string]int64),
+		gauges: make(map[string]float64),
 		hists:  make(map[string]*histogram),
 	}
 }
@@ -88,13 +90,33 @@ func (c *Collector) Observe(name string, value float64) {
 	c.mu.Unlock()
 }
 
-var _ Recorder = (*Collector)(nil)
+// Gauge implements GaugeRecorder: the named gauge is set to value,
+// overwriting any previous level.
+func (c *Collector) Gauge(name string, value float64) {
+	c.mu.Lock()
+	c.gauges[name] = value
+	c.mu.Unlock()
+}
+
+var (
+	_ Recorder      = (*Collector)(nil)
+	_ GaugeRecorder = (*Collector)(nil)
+)
 
 // Counter returns the current value of a counter (0 if never written).
 func (c *Collector) Counter(name string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counts[name]
+}
+
+// GaugeValue returns the named gauge's current level and whether it was
+// ever set.
+func (c *Collector) GaugeValue(name string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.gauges[name]
+	return v, ok
 }
 
 // HistSummary is a histogram snapshot.
@@ -124,15 +146,18 @@ func (c *Collector) Hist(name string) HistSummary {
 	return HistSummary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
 }
 
-// Snapshot flattens the collector into a name -> value map: counters as
-// exact values, histograms as their means under "<name>" with
+// Snapshot flattens the collector into a name -> value map: counters and
+// gauges as exact values, histograms as their means under "<name>" with
 // "<name>.count" alongside. The map is detached from the collector.
 func (c *Collector) Snapshot() map[string]float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]float64, len(c.counts)+2*len(c.hists))
+	out := make(map[string]float64, len(c.counts)+len(c.gauges)+2*len(c.hists))
 	for name, v := range c.counts {
 		out[name] = float64(v)
+	}
+	for name, v := range c.gauges {
+		out[name] = v
 	}
 	for name, h := range c.hists {
 		if h.count == 0 {
@@ -168,6 +193,12 @@ type CounterPoint struct {
 	Value int64
 }
 
+// GaugePoint is one gauge in an Export.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
 // HistogramPoint is one histogram in an Export: streaming moments plus the
 // raw (non-cumulative) power-of-two bucket counts.
 type HistogramPoint struct {
@@ -188,19 +219,24 @@ func (h HistogramPoint) Summary() HistSummary {
 // goldens, dashboards) render deterministically from identical states.
 type Export struct {
 	Counters   []CounterPoint
+	Gauges     []GaugePoint
 	Histograms []HistogramPoint
 }
 
-// Export snapshots every counter and histogram in sorted name order. The
-// result is detached: later recording does not mutate it.
+// Export snapshots every counter, gauge and histogram in sorted name
+// order. The result is detached: later recording does not mutate it.
 func (c *Collector) Export() Export {
 	c.mu.Lock()
 	ex := Export{
 		Counters:   make([]CounterPoint, 0, len(c.counts)),
+		Gauges:     make([]GaugePoint, 0, len(c.gauges)),
 		Histograms: make([]HistogramPoint, 0, len(c.hists)),
 	}
 	for name, v := range c.counts {
 		ex.Counters = append(ex.Counters, CounterPoint{Name: name, Value: v})
+	}
+	for name, v := range c.gauges {
+		ex.Gauges = append(ex.Gauges, GaugePoint{Name: name, Value: v})
 	}
 	for name, h := range c.hists {
 		hp := HistogramPoint{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
@@ -209,25 +245,31 @@ func (c *Collector) Export() Export {
 	}
 	c.mu.Unlock()
 	sort.Slice(ex.Counters, func(i, j int) bool { return ex.Counters[i].Name < ex.Counters[j].Name })
+	sort.Slice(ex.Gauges, func(i, j int) bool { return ex.Gauges[i].Name < ex.Gauges[j].Name })
 	sort.Slice(ex.Histograms, func(i, j int) bool { return ex.Histograms[i].Name < ex.Histograms[j].Name })
 	return ex
 }
 
-// Reset clears all counters and histograms.
+// Reset clears all counters, gauges and histograms.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.counts = make(map[string]int64)
+	c.gauges = make(map[string]float64)
 	c.hists = make(map[string]*histogram)
 	c.mu.Unlock()
 }
 
-// WriteTo renders a sorted human-readable dump — counters first, then
-// histograms with count/mean/min/max — and implements io.WriterTo.
+// WriteTo renders a sorted human-readable dump — counters, then gauges,
+// then histograms with count/mean/min/max — and implements io.WriterTo.
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	c.mu.Lock()
 	counts := make(map[string]int64, len(c.counts))
 	for k, v := range c.counts {
 		counts[k] = v
+	}
+	gauges := make(map[string]float64, len(c.gauges))
+	for k, v := range c.gauges {
+		gauges[k] = v
 	}
 	hists := make(map[string]HistSummary, len(c.hists))
 	for k, h := range c.hists {
@@ -248,6 +290,16 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	sort.Strings(names)
 	for _, k := range names {
 		if err := emit("%-40s %d\n", k, counts[k]); err != nil {
+			return total, err
+		}
+	}
+	names = names[:0]
+	for k := range gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if err := emit("%-40s gauge=%g\n", k, gauges[k]); err != nil {
 			return total, err
 		}
 	}

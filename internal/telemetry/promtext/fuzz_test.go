@@ -10,12 +10,14 @@ import (
 	"broadcastic/internal/telemetry"
 )
 
-// Exposition grammar for the subset this writer emits: TYPE comments,
-// counter/gauge samples, and histogram bucket samples with an le label.
+// Exposition grammar for the subset this writer emits: TYPE comments and
+// counter/gauge/histogram samples with optional label blocks whose values
+// escape backslash, quote and newline.
 var (
 	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	typeLineRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
-	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]*"\})? (-?[0-9.e+\-]+|NaN|\+Inf|-Inf)$`)
+	labelRe      = `[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"`
+	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{` + labelRe + `(?:,` + labelRe + `)*\})? (-?[0-9.e+\-]+|NaN|\+Inf|-Inf)$`)
 )
 
 // checkExposition validates that every line of an exposition document
@@ -53,6 +55,9 @@ func FuzzWrite(f *testing.F) {
 	f.Add("a.b", "a_b", int64(1), math.NaN())
 	f.Add("dup", "dup", int64(5), math.Inf(-1))
 	f.Add("# TYPE evil counter\nevil 1", "le=\"inject\"", int64(0), -0.0)
+	f.Add(telemetry.Labeled("jobs.queue_depth", "tenant", "t1"), telemetry.Labeled("jobs.queue_wait_ns", "tenant", `ev"il\`+"\n"), int64(2), 9.0)
+	f.Add(`half{tenant="unclosed`, `dup.keys{a.b="1",a_b="2"}`, int64(1), 1.0)
+	f.Add(`hist{le="user"}`, `hist{le="user"}`, int64(1), 2.0)
 	f.Fuzz(func(t *testing.T, counterName, histName string, delta int64, obs float64) {
 		col := telemetry.NewCollector()
 		col.Count(counterName, delta)

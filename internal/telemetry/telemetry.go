@@ -21,6 +21,7 @@ package telemetry
 
 import (
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -39,10 +40,29 @@ type Recorder interface {
 	Observe(name string, value float64)
 }
 
+// GaugeRecorder is the optional gauge extension of Recorder: a gauge is a
+// point-in-time level (queue depth, cache hit ratio, resident bytes) that
+// Set overwrites rather than accumulates. Recorders that do not implement
+// it simply never see gauge values — the package helper type-asserts, so
+// existing Recorder implementations stay valid.
+type GaugeRecorder interface {
+	Recorder
+	// Gauge sets the named gauge to value.
+	Gauge(name string, value float64)
+}
+
 // Count adds delta to the named counter, or does nothing when r is nil.
 func Count(r Recorder, name string, delta int64) {
 	if r != nil {
 		r.Count(name, delta)
+	}
+}
+
+// Gauge sets the named gauge when r implements GaugeRecorder, and does
+// nothing otherwise (including for nil r).
+func Gauge(r Recorder, name string, value float64) {
+	if g, ok := r.(GaugeRecorder); ok {
+		g.Gauge(name, value)
 	}
 }
 
@@ -89,6 +109,16 @@ func (m multi) Observe(name string, value float64) {
 	}
 }
 
+// Gauge forwards to every member that implements GaugeRecorder, so a
+// Multi chain never swallows gauge values on the way to a Collector.
+func (m multi) Gauge(name string, value float64) {
+	for _, r := range m {
+		if g, ok := r.(GaugeRecorder); ok {
+			g.Gauge(name, value)
+		}
+	}
+}
+
 // Span is an in-flight timed region started by StartSpan. The zero Span
 // (from a nil Recorder) is inert: End returns immediately.
 type Span struct {
@@ -121,4 +151,56 @@ func (s Span) End() {
 // installed.
 func Indexed(prefix string, index int, field string) string {
 	return prefix + "." + strconv.Itoa(index) + "." + field
+}
+
+// Labeled renders a labeled metric name in the canonical encoded form the
+// promtext writer parses back into Prometheus label sets:
+//
+//	Labeled("jobs.queue_depth", "tenant", "t1") -> `jobs.queue_depth{tenant="t1"}`
+//
+// kv is key/value pairs; pairs are sorted by key so equal label sets
+// always encode identically, and values are escaped (backslash, quote,
+// newline) so any tenant string round-trips. A trailing odd key is
+// ignored. Callers cache the result per entity — like Indexed, this is a
+// recording-path helper.
+func Labeled(name string, kv ...string) string {
+	n := len(kv) / 2 * 2
+	if n == 0 {
+		return name
+	}
+	// Insertion-sort the pairs by key; label sets are tiny.
+	pairs := make([][2]string, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j][0] < pairs[j-1][0]; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p[0])
+		b.WriteString(`="`)
+		for k := 0; k < len(p[1]); k++ {
+			switch c := p[1][k]; c {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }

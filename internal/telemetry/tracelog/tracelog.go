@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // Event is one Chrome trace event. Only the fields this package emits are
@@ -125,7 +126,17 @@ const (
 	tidBlackboard  = 4
 	tidEstimator   = 5
 	tidOther       = 6
+	tidJobs        = 7
 	playerTidBase  = 16
+)
+
+// metricsPid is the process id of the aggregate metrics plane; causal
+// traces get their own pid each, allocated from causalPidBase upward, so
+// Perfetto groups one trace's spans under one process named after its
+// trace ID.
+const (
+	metricsPid    = 1
+	causalPidBase = 2
 )
 
 // trackFor derives the display track from a metric's dot-path.
@@ -148,6 +159,8 @@ func trackFor(name string) (tid int, label string) {
 		return tidBlackboard, "blackboard"
 	case strings.HasPrefix(name, "core."):
 		return tidEstimator, "estimator"
+	case strings.HasPrefix(name, "jobs."):
+		return tidJobs, "jobs"
 	default:
 		return tidOther, "other"
 	}
@@ -175,6 +188,17 @@ type Sink struct {
 	events   []Event
 	counters map[string]int64
 	tracks   map[int]string
+	causal   map[causal.TraceID]*causalProcess
+	nextPid  int
+}
+
+// causalProcess is the per-trace display process: its pid, the process
+// metadata args (trace ID plus the root record's attrs — tenant,
+// experiment), and the thread labels used under it.
+type causalProcess struct {
+	pid    int
+	args   map[string]any
+	tracks map[int]string
 }
 
 // New starts a sink for one run. runID should be stable across reruns of
@@ -189,6 +213,8 @@ func New(runID string, next telemetry.Recorder) *Sink {
 		next:     next,
 		counters: make(map[string]int64),
 		tracks:   make(map[int]string),
+		causal:   make(map[causal.TraceID]*causalProcess),
+		nextPid:  causalPidBase,
 	}
 }
 
@@ -253,7 +279,81 @@ func (s *Sink) Observe(name string, value float64) {
 	s.mu.Unlock()
 }
 
-var _ telemetry.Recorder = (*Sink)(nil)
+// Gauge implements telemetry.GaugeRecorder: the level renders as a
+// counter ("C") series, which is how Perfetto displays point-in-time
+// values, and forwards downstream so a tee chain never swallows gauges.
+func (s *Sink) Gauge(name string, value float64) {
+	if g, ok := s.next.(telemetry.GaugeRecorder); ok {
+		g.Gauge(name, value)
+	}
+	tid, label := trackFor(name)
+	ts := s.now()
+	s.mu.Lock()
+	s.tracks[tid] = label
+	s.events = append(s.events, Event{
+		Name: name, Phase: "C", Ts: ts, Pid: metricsPid, Tid: tid,
+		Args: map[string]any{"value": value, "runId": s.runID},
+	})
+	s.mu.Unlock()
+}
+
+// CausalEvent implements causal.EventSink: each trace renders as its own
+// process (pid >= causalPidBase) named after the trace ID, spans as
+// complete ("X") events and instants as "i" events, on threads derived
+// from the record name the same way metric tracks are. Timestamps are the
+// causal Recorder's (nanoseconds since its epoch), self-consistent within
+// each causal pid.
+func (s *Sink) CausalEvent(rec causal.Record) {
+	tid, label := trackFor(rec.Name)
+	s.mu.Lock()
+	cp := s.causal[rec.Trace]
+	if cp == nil {
+		cp = &causalProcess{
+			pid:    s.nextPid,
+			args:   map[string]any{"trace": rec.Trace.String()},
+			tracks: make(map[int]string),
+		}
+		s.nextPid++
+		s.causal[rec.Trace] = cp
+	}
+	cp.tracks[tid] = label
+	if rec.Parent == 0 {
+		// Root records carry the trace's identity (tenant, experiment);
+		// surface it on the process itself.
+		for _, a := range rec.Attrs {
+			cp.args[a.Key] = a.Value
+		}
+	}
+	args := make(map[string]any, len(rec.Attrs)+4)
+	for _, a := range rec.Attrs {
+		args[a.Key] = a.Value
+	}
+	args["span"] = rec.Span.String()
+	if rec.Parent != 0 {
+		args["parent"] = rec.Parent.String()
+	}
+	if rec.Fault {
+		args["fault"] = true
+	}
+	ev := Event{Name: rec.Name, Pid: cp.pid, Tid: tid, Args: args}
+	if rec.Kind == causal.KindSpan && rec.End >= rec.Start {
+		ev.Phase = "X"
+		ev.Ts = float64(rec.Start) / 1e3
+		ev.Dur = float64(rec.End-rec.Start) / 1e3
+	} else {
+		ev.Phase = "i"
+		ev.Ts = float64(rec.Start) / 1e3
+		ev.Scope = "t"
+	}
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+var (
+	_ telemetry.Recorder      = (*Sink)(nil)
+	_ telemetry.GaugeRecorder = (*Sink)(nil)
+	_ causal.EventSink        = (*Sink)(nil)
+)
 
 // Snapshot assembles the trace recorded so far: thread-name metadata for
 // every used track (sorted, so equal runs produce equal files) followed by
@@ -269,9 +369,41 @@ func (s *Sink) Snapshot() *Trace {
 	events := make([]Event, 0, len(tids)+len(s.events))
 	for _, tid := range tids {
 		events = append(events, Event{
-			Name: "thread_name", Phase: "M", Pid: 1, Tid: tid,
+			Name: "thread_name", Phase: "M", Pid: metricsPid, Tid: tid,
 			Args: map[string]any{"name": s.tracks[tid]},
 		})
+	}
+	// Causal processes, ordered by pid (allocation order), each announcing
+	// its name ("trace <id>" plus root attrs) and thread labels.
+	procs := make([]*causalProcess, 0, len(s.causal))
+	for _, cp := range s.causal {
+		procs = append(procs, cp)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].pid < procs[j].pid })
+	for _, cp := range procs {
+		name := "trace"
+		if t, ok := cp.args["trace"].(string); ok {
+			name = "trace " + t
+		}
+		args := make(map[string]any, len(cp.args)+1)
+		for k, v := range cp.args {
+			args[k] = v
+		}
+		args["name"] = name
+		events = append(events, Event{
+			Name: "process_name", Phase: "M", Pid: cp.pid, Args: args,
+		})
+		ctids := make([]int, 0, len(cp.tracks))
+		for tid := range cp.tracks {
+			ctids = append(ctids, tid)
+		}
+		sort.Ints(ctids)
+		for _, tid := range ctids {
+			events = append(events, Event{
+				Name: "thread_name", Phase: "M", Pid: cp.pid, Tid: tid,
+				Args: map[string]any{"name": cp.tracks[tid]},
+			})
+		}
 	}
 	events = append(events, s.events...)
 	return &Trace{

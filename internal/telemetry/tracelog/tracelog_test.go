@@ -14,6 +14,7 @@ import (
 	"broadcastic/internal/netrun"
 	"broadcastic/internal/rng"
 	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 func decodeTrace(t *testing.T, b []byte) *Trace {
@@ -215,4 +216,84 @@ func TestSnapshotDeterministicForEqualRuns(t *testing.T) {
 func ExampleFileName() {
 	fmt.Println(FileName("E20-seed1"))
 	// Output: E20-seed1.trace.json
+}
+
+// TestSinkCausalEvents pins the causal tee: records arriving via
+// causal.EventSink render each trace as its own Perfetto process — named
+// "trace <id>" and carrying the root record's identity attrs — with spans
+// as complete events, instants as instant events, and jobs-layer records
+// on a dedicated "jobs" thread.
+func TestSinkCausalEvents(t *testing.T) {
+	s := New("causal-run", nil)
+	fr := causal.NewRecorder(0)
+	c1 := fr.StartTraceSink(s, causal.JobAdmission,
+		causal.String("tenant", "acme"), causal.String("experiment", "E20"))
+	sp := c1.StartSpan(causal.JobExecute, causal.String("job", "j000001"))
+	sp.Context().Fault(causal.NetrunFault, causal.String("fault", "drop"))
+	sp.End()
+	c2 := fr.StartTraceSink(s, causal.JobAdmission, causal.String("tenant", "bee"))
+	c2.Event(causal.JobDispatch)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, buf.Bytes())
+
+	pids := map[string]int{} // trace id -> pid
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			id, _ := ev.Args["trace"].(string)
+			pids[id] = ev.Pid
+			if name, _ := ev.Args["name"].(string); name != "trace "+id {
+				t.Errorf("process name = %q, want %q", name, "trace "+id)
+			}
+			if id == c1.Trace().String() {
+				// The root's identity attrs promote onto the process.
+				if ev.Args["tenant"] != "acme" || ev.Args["experiment"] != "E20" {
+					t.Errorf("process args = %v, want tenant/experiment", ev.Args)
+				}
+			}
+		}
+	}
+	if len(pids) != 2 || pids[c1.Trace().String()] == pids[c2.Trace().String()] {
+		t.Fatalf("causal processes = %v, want two distinct pids", pids)
+	}
+	if p := pids[c1.Trace().String()]; p < causalPidBase {
+		t.Errorf("causal pid %d below causalPidBase", p)
+	}
+
+	var sawExec, sawFault, sawDispatch, sawJobsThread bool
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Phase == "X" && ev.Name == causal.JobExecute:
+			sawExec = true
+			if ev.Pid != pids[c1.Trace().String()] {
+				t.Errorf("execute span on pid %d, want %d", ev.Pid, pids[c1.Trace().String()])
+			}
+			if ev.Args["job"] != "j000001" || ev.Args["span"] == nil {
+				t.Errorf("execute span args = %v", ev.Args)
+			}
+		case ev.Phase == "i" && ev.Name == causal.NetrunFault:
+			sawFault = true
+			if ev.Args["fault"] != true {
+				t.Errorf("fault instant args = %v", ev.Args)
+			}
+			if ev.Args["parent"] == nil {
+				t.Error("fault instant lost its parent span")
+			}
+		case ev.Phase == "i" && ev.Name == causal.JobDispatch:
+			sawDispatch = true
+			if ev.Pid != pids[c2.Trace().String()] {
+				t.Errorf("dispatch on pid %d, want %d", ev.Pid, pids[c2.Trace().String()])
+			}
+		case ev.Phase == "M" && ev.Name == "thread_name" && ev.Tid == tidJobs:
+			if name, _ := ev.Args["name"].(string); name == "jobs" {
+				sawJobsThread = true
+			}
+		}
+	}
+	if !sawExec || !sawFault || !sawDispatch || !sawJobsThread {
+		t.Fatalf("missing causal events: exec=%v fault=%v dispatch=%v jobsThread=%v",
+			sawExec, sawFault, sawDispatch, sawJobsThread)
+	}
 }

@@ -7,12 +7,13 @@ package broadcastic_test
 // so telemetry can stay compiled in unconditionally.
 
 import (
+	"io"
 	"sort"
 	"testing"
 	"time"
 
 	"broadcastic/internal/sim"
-	"broadcastic/internal/telemetry"
+	"broadcastic/internal/telemetry/causal"
 )
 
 // noopRecorder is a live Recorder that discards everything: the worst
@@ -32,23 +33,25 @@ func (noopRecorder) Observe(string, float64) {}
 // min-of-N comparison converts into a spurious ratio whenever the two
 // series catch different luck — the median is stable there because a
 // majority of rounds must be disturbed before it moves.
-func medianRunNs(t *testing.T, rounds int) (nilNs, noopNs time.Duration) {
+func medianRunNs(t *testing.T, rounds int, variant func() sim.Config) (baseNs, variantNs time.Duration) {
 	t.Helper()
-	run := func(rec telemetry.Recorder) time.Duration {
-		cfg := sim.Config{Seed: 1, Scale: sim.Quick, Workers: 1, Recorder: rec}
+	run := func(cfg sim.Config) time.Duration {
 		start := time.Now()
 		if _, err := sim.E1DisjScalingN(cfg); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)
 	}
-	nilSamples := make([]time.Duration, 0, rounds)
-	noopSamples := make([]time.Duration, 0, rounds)
-	for i := 0; i < rounds; i++ {
-		nilSamples = append(nilSamples, run(nil))
-		noopSamples = append(noopSamples, run(noopRecorder{}))
+	base := func() sim.Config {
+		return sim.Config{Seed: 1, Scale: sim.Quick, Workers: 1}
 	}
-	return medianDuration(nilSamples), medianDuration(noopSamples)
+	baseSamples := make([]time.Duration, 0, rounds)
+	variantSamples := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		baseSamples = append(baseSamples, run(base()))
+		variantSamples = append(variantSamples, run(variant()))
+	}
+	return medianDuration(baseSamples), medianDuration(variantSamples)
 }
 
 func medianDuration(ds []time.Duration) time.Duration {
@@ -66,17 +69,48 @@ func medianDuration(ds []time.Duration) time.Duration {
 // repeated interleaved runs and retries with growing round counts, only
 // failing if every attempt exceeds the budget.
 func TestNoopRecorderOverhead(t *testing.T) {
+	noop := func() sim.Config {
+		return sim.Config{Seed: 1, Scale: sim.Quick, Workers: 1, Recorder: noopRecorder{}}
+	}
+	assertBudget(t, "no-op recorder", noop)
+}
+
+// TestTracedPathOverhead asserts the same <2% budget with the causal plane
+// fully live: a real flight recorder with auto-dump armed, every cell and
+// shard opening spans into the sharded ring alongside the no-op metrics
+// recorder. This is the complete observability stack a traced job runs
+// under, so the budget covers production tracing, not just the disabled
+// branch.
+func TestTracedPathOverhead(t *testing.T) {
+	// One long-lived recorder, as in the daemon: rounds share the ring (a
+	// fresh 32k-record ring per round would be measuring allocator churn,
+	// not tracing).
+	fr := causal.NewRecorder(0)
+	fr.SetAutoDump(io.Discard)
+	traced := func() sim.Config {
+		return sim.Config{Seed: 1, Scale: sim.Quick, Workers: 1,
+			Recorder: noopRecorder{},
+			Causal:   fr.StartTrace(causal.ExperimentRoot, causal.String("experiment", "E1"))}
+	}
+	assertBudget(t, "fully-traced path", traced)
+}
+
+// assertBudget compares the variant's median E1 wall time against the bare
+// baseline, retrying with growing round counts and only failing if every
+// attempt exceeds the budget.
+func assertBudget(t *testing.T, label string, variant func() sim.Config) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("timing-sensitive; skipped with -short")
 	}
 	const budget = 1.02
 	// Warm caches and the allocator/pool state once.
-	medianRunNs(t, 1)
+	medianRunNs(t, 1, variant)
 	var worst float64
 	for attempt, rounds := range []int{7, 11, 15} {
-		nilNs, noopNs := medianRunNs(t, rounds)
-		ratio := float64(noopNs) / float64(nilNs)
-		t.Logf("attempt %d: nil %v, noop %v, ratio %.4f", attempt, nilNs, noopNs, ratio)
+		baseNs, varNs := medianRunNs(t, rounds, variant)
+		ratio := float64(varNs) / float64(baseNs)
+		t.Logf("attempt %d: base %v, %s %v, ratio %.4f", attempt, baseNs, label, varNs, ratio)
 		if ratio <= budget {
 			return
 		}
@@ -84,5 +118,5 @@ func TestNoopRecorderOverhead(t *testing.T) {
 			worst = ratio
 		}
 	}
-	t.Fatalf("no-op recorder overhead %.2f%% exceeds 2%% budget in every attempt", (worst-1)*100)
+	t.Fatalf("%s overhead %.2f%% exceeds 2%% budget in every attempt", label, (worst-1)*100)
 }
